@@ -1,0 +1,38 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``test_*`` module regenerates one table or figure of the paper
+(printing it and writing it under ``benchmarks/output/``) and times the
+regeneration with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.runner import BenchmarkRunner
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """One shared runner: compilation/profiling results are reused
+    across every table and figure, like the paper's platform."""
+    return BenchmarkRunner()
+
+
+@pytest.fixture(scope="session")
+def output_dir():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def publish(output_dir, name: str, text: str) -> None:
+    """Print a regenerated artefact and persist it."""
+    print()
+    print(text)
+    (output_dir / f"{name}.txt").write_text(text + "\n")

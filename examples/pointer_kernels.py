@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Pointer-parameter kernels: why the NRC benchmarks defeat static
+disambiguation, and what SpD does about it.
+
+The paper's motivating observation (Section 6.3) is that Numerical
+Recipes code passes arrays into procedures; inside the callee the
+compiler cannot know whether two parameter arrays overlap.  This example
+compiles the NRC ``tridag`` (Thomas algorithm) kernel, dumps the
+ambiguous dependence arcs the static disambiguator is stuck with, shows
+SpD's transformed tree, and compares per-tree schedules.
+
+Run:  python examples/pointer_kernels.py
+"""
+
+from repro import (Disambiguator, compile_source, disambiguate, machine,
+                   run_program)
+from repro.disambig import make_static_oracle
+from repro.ir import build_dependence_graph, format_tree
+from repro.sched import schedule_tree
+
+SOURCE = """
+float wa[20];
+float wb[20];
+float wc[20];
+float wr[20];
+float wu[20];
+float wg[20];
+
+// NRC tridag: every array arrives as a parameter, so every store/load
+// pair across different parameters is ambiguously aliased
+void tridag(float a[], float b[], float c[], float r[], float u[],
+            int n, float gam[]) {
+    int j;
+    float bet;
+    bet = b[1];
+    u[1] = r[1] / bet;
+    for (j = 2; j <= n; j = j + 1) {
+        gam[j] = c[j - 1] / bet;
+        bet = b[j] - a[j] * gam[j];
+        u[j] = (r[j] - a[j] * u[j - 1]) / bet;
+    }
+    for (j = n - 1; j >= 1; j = j - 1) {
+        u[j] = u[j] - gam[j + 1] * u[j + 1];
+    }
+}
+
+// ADI-style coefficient builder: stores to a/b/c ahead of the g[]
+// loads in the same iteration — ambiguous RAW chains, SpD's sweet spot
+void build_row(float a[], float b[], float c[], float r[], float g[],
+               int n, float lam) {
+    int j;
+    for (j = 1; j <= n; j = j + 1) {
+        a[j] = -lam;
+        b[j] = 1.0 + 2.0 * lam;
+        c[j] = -lam;
+        r[j] = g[j] + lam * (g[j - 1] - 2.0 * g[j] + g[j + 1]);
+    }
+}
+
+int main() {
+    int k;
+    for (k = 1; k <= 16; k = k + 1) {
+        wg[k] = k * 0.25;
+    }
+    build_row(wa, wb, wc, wr, wg, 15, 0.25);
+    tridag(wa, wb, wc, wr, wu, 15, wg);
+    print(wu[1]);
+    print(wu[8]);
+    print(wu[15]);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    program = compile_source(SOURCE)
+    reference = run_program(program)
+    print(f"tridiagonal solve output: {reference.output}\n")
+
+    # --- the ambiguity the static disambiguator cannot remove ----------
+    print("ambiguous arcs remaining under STATIC (GCD/Banerjee):")
+    for func, tree in program.all_trees():
+        if func not in ("tridag", "build_row"):
+            continue
+        graph = build_dependence_graph(tree, make_static_oracle(tree))
+        for arc in graph.ambiguous_arcs():
+            src, dst = tree.ops[arc.src], tree.ops[arc.dst]
+            def describe(op):
+                if op.access and op.access.region:
+                    return f"{op.opcode.value} {op.access.region.name}"
+                return op.opcode.value
+            print(f"  {tree.name}: {describe(src)} -> {describe(dst)} "
+                  f"({arc.kind.value})")
+    print()
+
+    # --- what SpD does to the forward-elimination loop ------------------
+    mach = machine(None, 6)
+    spec = disambiguate(program, Disambiguator.SPEC,
+                        profile=reference.profile, machine=mach)
+    for (func, name), result in spec.spd_results.items():
+        print(f"SpD in {name}: "
+              f"{[a.kind.value for a in result.applications]} "
+              f"(+{result.ops_added} ops)")
+    print()
+
+    # --- per-tree schedule comparison on a 4-FU machine -----------------
+    target = machine(4, 6)
+    static = disambiguate(program, Disambiguator.STATIC,
+                          profile=reference.profile, machine=target)
+    print(f"per-tree path times on {target.name}:")
+    for key in sorted(static.graphs):
+        if key[0] not in ("tridag", "build_row"):
+            continue
+        before = schedule_tree(static.graphs[key], target).path_times
+        after = schedule_tree(spec.graphs[key], target).path_times
+        marker = "  <- SpD" if after != before else ""
+        print(f"  {key[1]:28s} STATIC {before} SPEC {after}{marker}")
+
+    # --- show the transformed loop tree ---------------------------------
+    hot = next((tree for (f, n), tree in
+                ((k, spec.program.functions[k[0]].trees[k[1]])
+                 for k in spec.spd_results)), None)
+    if hot is not None:
+        print("\ntransformed tree (forwarding + guarded versions):")
+        print(format_tree(hot))
+
+
+if __name__ == "__main__":
+    main()

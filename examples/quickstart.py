@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: compile the paper's Example 2-2 and watch speculative
+disambiguation beat both static and perfect-static disambiguation.
+
+The kernel stores to ``a[2i]`` and loads ``a[i+4]`` in every iteration.
+The two references alias exactly once (i = 4), so:
+
+* STATIC answers "Yes, they alias" and keeps them sequential,
+* PERFECT (profile-driven) must also keep the arc — it is not
+  superfluous, and
+* SpD compiles both outcomes and wins on 99 of 100 iterations.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (Disambiguator, compile_source, disambiguate,
+                   evaluate_program, machine, run_program)
+
+SOURCE = """
+float a[300];
+float y[300];
+
+int main() {
+    int i;
+    for (i = 1; i <= 100; i = i + 1) {
+        a[2*i] = i * 1.0;
+        y[i] = a[i+4] * 2.0 + 1.0;
+    }
+    print(y[3]);
+    print(y[4]);
+    print(y[50]);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    # 1. compile tinyc source to guarded decision trees
+    program = compile_source(SOURCE)
+    print(f"compiled: {program.size()} operations, "
+          f"{len(list(program.all_trees()))} decision trees")
+
+    # 2. one functional run produces the output and the profile
+    reference = run_program(program)
+    print(f"program output: {reference.output}")
+
+    # 3. evaluate all four disambiguators on a 5-FU, 6-cycle-memory LIFE
+    mach = machine(num_fus=5, memory_latency=6)
+    cycles = {}
+    for kind in Disambiguator:
+        view = disambiguate(program, kind, profile=reference.profile,
+                            machine=mach)
+        timing = evaluate_program(view.program, view.graphs, mach,
+                                  reference.profile)
+        cycles[kind] = timing.cycles
+        extra = ""
+        if kind is Disambiguator.SPEC:
+            counts = {k.value: v for k, v in view.spd_counts().items() if v}
+            extra = (f"  (SpD applied: {counts}, "
+                     f"code {program.size()} -> {view.code_size()} ops)")
+        print(f"{kind.value:>8}: {timing.cycles:7d} cycles{extra}")
+
+    # 4. verify the headline: only SpD helps here
+    naive = cycles[Disambiguator.NAIVE]
+    print(f"\nspeedup over NAIVE (the paper's Figure 6-2 metric):")
+    for kind in (Disambiguator.STATIC, Disambiguator.SPEC,
+                 Disambiguator.PERFECT):
+        print(f"{kind.value:>8}: {naive / cycles[kind] - 1:+.1%}")
+
+    # 5. and that the transformation preserved semantics
+    spec = disambiguate(program, Disambiguator.SPEC,
+                        profile=reference.profile, machine=mach)
+    transformed = run_program(spec.program.copy())
+    assert reference.output_equal(transformed)
+    print("\ntransformed program output verified identical.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""repro — a reproduction of "Speculative Disambiguation: A Compilation
+Technique for Dynamic Memory Disambiguation" (Huang, Slavenburg, Shen;
+ISCA 1994).
+
+The package implements the paper's whole toolchain from scratch:
+
+* a C-like frontend (``repro.frontend``) compiling benchmark programs to
+  guarded decision trees — the LIFE VLIW compiler's IR,
+* the functional/profiling simulator and timing models (``repro.sim``),
+* a resource-constrained list scheduler (``repro.sched``),
+* static (GCD/Banerjee), speculative, and profile-perfect memory
+  disambiguation (``repro.disambig``) — SpD is the paper's contribution,
+* the benchmark suite and the experiment harness regenerating every
+  table and figure of the paper's Section 6 (``repro.bench``,
+  ``repro.experiments``).
+
+Quickstart::
+
+    from repro import compile_source, run_program, disambiguate
+    from repro import Disambiguator, machine, evaluate_program
+
+    program = compile_source(SOURCE)
+    profile = run_program(program).profile
+    mach = machine(num_fus=5, memory_latency=6)
+    spec = disambiguate(program, Disambiguator.SPEC,
+                        profile=profile, machine=mach)
+    print(evaluate_program(spec.program, spec.graphs, mach, profile).cycles)
+"""
+
+from .disambig import (DisambiguationResult, Disambiguator, SpDConfig,
+                       apply_spd, disambiguate, speculative_disambiguation)
+from .frontend import CompileError, compile_source
+from .machine import INFINITE, LatencyTable, LifeMachine, machine, paper_machines
+from .sim import (ProfileData, ProgramTiming, RunResult, evaluate_program,
+                  infinite_machine_timing, run_program)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompileError",
+    "DisambiguationResult",
+    "Disambiguator",
+    "INFINITE",
+    "LatencyTable",
+    "LifeMachine",
+    "ProfileData",
+    "ProgramTiming",
+    "RunResult",
+    "SpDConfig",
+    "apply_spd",
+    "compile_source",
+    "disambiguate",
+    "evaluate_program",
+    "infinite_machine_timing",
+    "machine",
+    "paper_machines",
+    "run_program",
+    "speculative_disambiguation",
+    "__version__",
+]

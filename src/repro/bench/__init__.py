@@ -1,0 +1,9 @@
+"""Benchmark suite (Table 6-2) and the experimental-flow runner."""
+
+from .runner import BenchmarkRunner, CompiledBenchmark
+from .suite import (Benchmark, NRC_BENCHMARKS, REPORTED, SUITE, UNAFFECTED,
+                    benchmark_names, get_benchmark)
+
+__all__ = ["Benchmark", "BenchmarkRunner", "CompiledBenchmark",
+           "NRC_BENCHMARKS", "REPORTED", "SUITE", "UNAFFECTED",
+           "benchmark_names", "get_benchmark"]

@@ -1,0 +1,8 @@
+"""tinyc sources of the benchmark suite (paper Table 6-2)."""
+
+from . import (adi, bcuint, bubble, espresso_mini, fft, intmm, moment, perm,
+               queen, quick, smooft, solvde, towers, tree_sort)
+
+__all__ = ["adi", "bcuint", "bubble", "espresso_mini", "fft", "intmm",
+           "moment", "perm", "queen", "quick", "smooft", "solvde", "towers",
+           "tree_sort"]

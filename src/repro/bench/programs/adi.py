@@ -1,0 +1,115 @@
+"""adi — alternating direction implicit method for PDEs (NRC).
+
+Heat-equation-style ADI sweeps over a 2-D grid: each half-step solves a
+tridiagonal system per row (then per column) with the NRC ``tridag``
+routine.  As in NRC, *every* array — the grid and all six workspace
+vectors — reaches the sweeps and ``tridag`` as parameters, so the
+coefficient-building stores, the grid loads, the Thomas-algorithm
+recurrences and the copy-back stores are all mutually ambiguous: the
+pointer-dereference pattern the paper credits for making the NRC
+programs "quite challenging for the static disambiguator".
+"""
+
+NAME = "adi"
+SUITE = "NRC"
+DESCRIPTION = ("Alternating direction implicit method for partial "
+               "differential equations.")
+
+SOURCE = r"""
+float grid[12][12];
+float wa[12];
+float wb[12];
+float wc[12];
+float wr[12];
+float wu[12];
+float wg[12];
+
+// NRC tridag: Thomas algorithm for a tridiagonal system (1-based)
+void tridag(float a[], float b[], float c[], float r[], float u[],
+            int n, float gam[]) {
+    int j;
+    float bet;
+    bet = b[1];
+    u[1] = r[1] / bet;
+    for (j = 2; j <= n; j = j + 1) {
+        gam[j] = c[j - 1] / bet;
+        bet = b[j] - a[j] * gam[j];
+        u[j] = (r[j] - a[j] * u[j - 1]) / bet;
+    }
+    for (j = n - 1; j >= 1; j = j - 1) {
+        u[j] = u[j] - gam[j + 1] * u[j + 1];
+    }
+}
+
+void row_sweep(float g[][12], float a[], float b[], float c[], float r[],
+               float u[], float gam[], int n, float lam) {
+    int i;
+    int j;
+    for (i = 1; i <= n; i = i + 1) {
+        for (j = 1; j <= n; j = j + 1) {
+            a[j] = -lam;
+            b[j] = 1.0 + 2.0 * lam;
+            c[j] = -lam;
+            r[j] = g[i][j]
+                 + lam * (g[i - 1][j] - 2.0 * g[i][j] + g[i + 1][j]);
+        }
+        tridag(a, b, c, r, u, n, gam);
+        for (j = 1; j <= n; j = j + 1) {
+            g[i][j] = u[j];
+        }
+    }
+}
+
+void col_sweep(float g[][12], float a[], float b[], float c[], float r[],
+               float u[], float gam[], int n, float lam) {
+    int i;
+    int j;
+    for (j = 1; j <= n; j = j + 1) {
+        for (i = 1; i <= n; i = i + 1) {
+            a[i] = -lam;
+            b[i] = 1.0 + 2.0 * lam;
+            c[i] = -lam;
+            r[i] = g[i][j]
+                 + lam * (g[i][j - 1] - 2.0 * g[i][j] + g[i][j + 1]);
+        }
+        tridag(a, b, c, r, u, n, gam);
+        for (i = 1; i <= n; i = i + 1) {
+            g[i][j] = u[i];
+        }
+    }
+}
+
+int main() {
+    int n;
+    int i;
+    int j;
+    int it;
+    float lam;
+    float sum;
+    n = 8;
+    lam = 0.25;
+    // hot spot in the middle, cold boundary
+    for (i = 0; i <= n + 1; i = i + 1) {
+        for (j = 0; j <= n + 1; j = j + 1) {
+            grid[i][j] = 0.0;
+        }
+    }
+    grid[4][4] = 16.0;
+    grid[5][5] = 16.0;
+    for (it = 0; it < 4; it = it + 1) {
+        row_sweep(grid, wa, wb, wc, wr, wu, wg, n, lam);
+        col_sweep(grid, wa, wb, wc, wr, wu, wg, n, lam);
+    }
+    sum = 0.0;
+    for (i = 1; i <= n; i = i + 1) {
+        for (j = 1; j <= n; j = j + 1) {
+            sum = sum + grid[i][j];
+        }
+    }
+    print(sum);
+    print(grid[4][4]);
+    print(grid[1][1]);
+    print(grid[8][8]);
+    return 0;
+}
+"""

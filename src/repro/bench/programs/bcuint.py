@@ -1,0 +1,109 @@
+"""bcuint — bicubic interpolation (NRC).
+
+``bcucof`` builds the 16 bicubic coefficients from function values and
+derivatives at four grid-square corners via a 16x16 weight-matrix
+multiply; ``bcuint`` evaluates the resulting polynomial.  All corner
+arrays are passed as parameters.
+
+Substitution note: NRC hard-codes its integer weight table; we generate
+a deterministic integer table procedurally (values in [-3, 3]) — the
+data differs but the access pattern (a dense mat-vec over parameter
+arrays) is identical, which is what exercises the disambiguators.
+"""
+
+NAME = "bcuint"
+SUITE = "NRC"
+DESCRIPTION = "Bicubic interpolation."
+
+SOURCE = r"""
+int wt[256];       // 16x16 weight matrix (procedurally generated)
+float yv[5];       // corner values, 1-based like NRC
+float y1v[5];
+float y2v[5];
+float y12v[5];
+float cc[4][4];
+
+void init_wt() {
+    int i;
+    int s;
+    s = 7;
+    for (i = 0; i < 256; i = i + 1) {
+        s = (s * 61 + 17) % 127;
+        wt[i] = s % 7 - 3;
+    }
+}
+
+// NRC bcucof: coefficients for bicubic interpolation
+void bcucof(float y[], float y1[], float y2[], float y12[],
+            float d1, float d2, float c[][4]) {
+    float x[16];
+    float cl[16];
+    int i;
+    int j;
+    int k;
+    int l;
+    float xx;
+    float d1d2;
+    d1d2 = d1 * d2;
+    for (i = 1; i <= 4; i = i + 1) {
+        x[i - 1] = y[i];
+        x[i + 3] = y1[i] * d1;
+        x[i + 7] = y2[i] * d2;
+        x[i + 11] = y12[i] * d1d2;
+    }
+    for (i = 0; i < 16; i = i + 1) {
+        xx = 0.0;
+        for (k = 0; k < 16; k = k + 1) {
+            xx = xx + wt[i * 16 + k] * x[k];
+        }
+        cl[i] = xx;
+    }
+    l = 0;
+    for (i = 0; i < 4; i = i + 1) {
+        for (j = 0; j < 4; j = j + 1) {
+            c[i][j] = cl[l];
+            l = l + 1;
+        }
+    }
+}
+
+// NRC bcuint: evaluate the bicubic polynomial at (t, u)
+float bcuint(float c[][4], float t, float u) {
+    int i;
+    float ansy;
+    ansy = 0.0;
+    for (i = 3; i >= 0; i = i - 1) {
+        ansy = t * ansy
+             + ((c[i][3] * u + c[i][2]) * u + c[i][1]) * u + c[i][0];
+    }
+    return ansy;
+}
+
+int main() {
+    int p;
+    int q;
+    float t;
+    float u;
+    float sum;
+    float v;
+    init_wt();
+    yv[1] = 1.0;  yv[2] = 2.0;  yv[3] = 4.0;  yv[4] = 3.0;
+    y1v[1] = 0.1; y1v[2] = 0.4; y1v[3] = 0.2; y1v[4] = 0.3;
+    y2v[1] = 0.2; y2v[2] = 0.1; y2v[3] = 0.5; y2v[4] = 0.4;
+    y12v[1] = 0.01; y12v[2] = 0.03; y12v[3] = 0.02; y12v[4] = 0.04;
+    bcucof(yv, y1v, y2v, y12v, 2.0, 2.0, cc);
+    sum = 0.0;
+    for (p = 0; p <= 8; p = p + 1) {
+        for (q = 0; q <= 8; q = q + 1) {
+            t = p * 0.125;
+            u = q * 0.125;
+            v = bcuint(cc, t, u);
+            sum = sum + v;
+        }
+    }
+    print(sum);
+    print(bcuint(cc, 0.5, 0.5));
+    print(bcuint(cc, 0.25, 0.75));
+    return 0;
+}
+"""

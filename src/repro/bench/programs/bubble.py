@@ -1,0 +1,67 @@
+"""bubble — bubble sort (Stanford Integer).
+
+Adjacent-element swaps: ``a[i]`` vs ``a[i+1]`` is provably alias-free by
+the GCD test, so STATIC already resolves the inner loop and SpD finds
+nothing — the third of the paper's "unaffected" Stanford programs.
+"""
+
+NAME = "bubble"
+SUITE = "StanfInt"
+DESCRIPTION = "Bubble sort."
+
+SOURCE = r"""
+int blist[140];
+int seed[1];
+
+int rand16() {
+    seed[0] = (seed[0] * 1309 + 13849) % 65536;
+    return seed[0];
+}
+
+void bubblesort(int a[], int n) {
+    int top;
+    int i;
+    int t;
+    top = n;
+    while (top > 1) {
+        i = 1;
+        while (i < top) {
+            if (a[i] > a[i + 1]) {
+                t = a[i];
+                a[i] = a[i + 1];
+                a[i + 1] = t;
+            }
+            i = i + 1;
+        }
+        top = top - 1;
+    }
+}
+
+int main() {
+    int n;
+    int i;
+    int sum;
+    int sorted;
+    n = 128;
+    seed[0] = 74755;
+    for (i = 1; i <= n; i = i + 1) {
+        blist[i] = rand16() % 4096;
+    }
+    bubblesort(blist, n);
+    sum = 0;
+    sorted = 1;
+    for (i = 1; i <= n; i = i + 1) {
+        sum = sum + blist[i];
+        if (i > 1) {
+            if (blist[i - 1] > blist[i]) {
+                sorted = 0;
+            }
+        }
+    }
+    print(sorted);
+    print(sum);
+    print(blist[1]);
+    print(blist[n]);
+    return 0;
+}
+"""

@@ -1,0 +1,204 @@
+"""espresso — boolean function minimisation (SPECint 92).
+
+Substitution note: real espresso is 14.8 kloc of pointer-heavy C; we
+reproduce its central data structure and hot loop in miniature.  Cubes
+are rows of a flattened positional-cube matrix (one int per variable:
+1 = literal 0, 2 = literal 1, 3 = don't-care); the kernel repeatedly
+(a) merges distance-1 cube pairs (the heart of expand/reduce), and
+(b) deletes single-cube-contained cubes (irredundant-cover's cheap
+case), iterating to a fixpoint.  All cube accesses go through index
+arithmetic on arrays passed into helper procedures, preserving the
+RAW-dominated ambiguous-alias mix the paper measures for espresso.
+"""
+
+NAME = "espresso"
+SUITE = "SPEC"
+DESCRIPTION = "Boolean function minimization."
+
+SOURCE = r"""
+int cubes[1024];       // up to 128 cubes x 8 vars, flattened
+int alive[160];
+int scratch[8];
+int meetbuf[8];        // result set of the meet kernel (cf. set_and)
+int counters[4];       // 0: ncubes, 1: merges, 2: removals, 3: passes
+
+// distance between cubes i and j: number of vars whose codes don't meet
+int distance(int cs[], int nv, int i, int j) {
+    int v;
+    int d;
+    int x;
+    d = 0;
+    for (v = 0; v < nv; v = v + 1) {
+        x = cs[i * nv + v];
+        if (x + cs[j * nv + v] == 3) {
+            // only the literal pair {1, 2} conflicts; 3 (dc) never does
+            d = d + 1;
+        }
+    }
+    return d;
+}
+
+// does cube i contain cube j?  Like real espresso's setp_implies,
+// phrased through the meet kernel: i contains j iff meet(i, j) == j.
+// The meet result is written into a result set while the operand sets
+// are being read — espresso's hot set_and/set_or access pattern, and
+// an ambiguous store->load chain per variable (tmp vs cs are both
+// parameters).
+int contains(int cs[], int tmp[], int nv, int i, int j) {
+    int v;
+    int yes;
+    yes = 1;
+    for (v = 0; v < nv; v = v + 1) {
+        if (cs[i * nv + v] + cs[j * nv + v] == 3) {
+            tmp[v] = 0;                       // empty meet: conflict
+        } else {
+            if (cs[i * nv + v] < cs[j * nv + v]) {
+                tmp[v] = cs[i * nv + v];
+            } else {
+                tmp[v] = cs[j * nv + v];
+            }
+        }
+        if (tmp[v] != cs[j * nv + v]) {
+            yes = 0;
+        }
+    }
+    return yes;
+}
+
+// merge distance-1 cubes i and j into the scratch cube
+void consensus(int cs[], int nv, int i, int j, int out[]) {
+    int v;
+    for (v = 0; v < nv; v = v + 1) {
+        if (cs[i * nv + v] + cs[j * nv + v] == 3) {
+            out[v] = 3;                       // widen the conflicting var
+        } else {
+            if (cs[i * nv + v] < cs[j * nv + v]) {
+                out[v] = cs[i * nv + v];
+            } else {
+                out[v] = cs[j * nv + v];
+            }
+        }
+    }
+}
+
+int addcube(int cs[], int live[], int ctr[], int nv, int cube[]) {
+    int n;
+    int v;
+    n = ctr[0];
+    for (v = 0; v < nv; v = v + 1) {
+        cs[n * nv + v] = cube[v];
+    }
+    live[n] = 1;
+    ctr[0] = n + 1;
+    return n;
+}
+
+// one expand/irredundant pass; returns 1 if anything changed
+int minimize_pass(int cs[], int live[], int ctr[], int nv) {
+    int i;
+    int j;
+    int n;
+    int changed;
+    int k;
+    changed = 0;
+    n = ctr[0];
+    for (i = 0; i < n; i = i + 1) {
+        for (j = i + 1; j < n; j = j + 1) {
+            if (live[i] == 1 && live[j] == 1 && ctr[0] < 140) {
+                if (distance(cs, nv, i, j) == 1) {
+                    consensus(cs, nv, i, j, scratch);
+                    k = addcube(cs, live, ctr, nv, scratch);
+                    if (contains(cs, meetbuf, nv, k, i) == 1) {
+                        live[i] = 0;
+                        ctr[2] = ctr[2] + 1;
+                    }
+                    if (contains(cs, meetbuf, nv, k, j) == 1) {
+                        live[j] = 0;
+                        ctr[2] = ctr[2] + 1;
+                    }
+                    ctr[1] = ctr[1] + 1;
+                    changed = 1;
+                    n = ctr[0];
+                }
+            }
+        }
+    }
+    // single-cube containment removal
+    n = ctr[0];
+    for (i = 0; i < n; i = i + 1) {
+        for (j = 0; j < n; j = j + 1) {
+            if (i != j && live[i] == 1 && live[j] == 1) {
+                if (contains(cs, meetbuf, nv, i, j) == 1) {
+                    live[j] = 0;
+                    ctr[2] = ctr[2] + 1;
+                    changed = 1;
+                }
+            }
+        }
+    }
+    return changed;
+}
+
+int main() {
+    int nv;
+    int m;
+    int v;
+    int bit;
+    int live;
+    int i;
+    int sum;
+    int guard;
+    int p;
+    nv = 6;
+    counters[0] = 0;
+    counters[1] = 0;
+    counters[2] = 0;
+    counters[3] = 0;
+    // on-set: minterms of f = (x0 & x1) | (!x2 & x3) | parity-ish tail
+    for (m = 0; m < 64; m = m + 1) {
+        int take;
+        int b0;
+        int b1;
+        int b2;
+        int b3;
+        b0 = m % 2;
+        b1 = (m / 2) % 2;
+        b2 = (m / 4) % 2;
+        b3 = (m / 8) % 2;
+        take = 0;
+        if (b0 == 1 && b1 == 1) { take = 1; }
+        if (b2 == 0 && b3 == 1) { take = 1; }
+        if (take == 1) {
+            p = 1;
+            for (v = 0; v < nv; v = v + 1) {
+                bit = (m / p) % 2;
+                scratch[v] = bit + 1;       // 1 = literal 0, 2 = literal 1
+                p = p * 2;
+            }
+            addcube(cubes, alive, counters, nv, scratch);
+        }
+    }
+    guard = 0;
+    while (minimize_pass(cubes, alive, counters, nv) == 1 && guard < 12) {
+        counters[3] = counters[3] + 1;
+        guard = guard + 1;
+    }
+    live = 0;
+    sum = 0;
+    for (i = 0; i < counters[0]; i = i + 1) {
+        if (alive[i] == 1) {
+            live = live + 1;
+            for (v = 0; v < nv; v = v + 1) {
+                sum = (sum * 5 + cubes[i * nv + v]) % 99991;
+            }
+        }
+    }
+    print(live);
+    print(counters[0]);
+    print(counters[1]);
+    print(counters[2]);
+    print(counters[3]);
+    print(sum);
+    return 0;
+}
+"""

@@ -1,0 +1,105 @@
+"""fft — fast Fourier transform (NRC four1).
+
+A direct port of NRC's ``four1``: bit-reversal permutation followed by
+Danielson-Lanczos butterflies with the trigonometric recurrence.  The
+stride between the two butterfly operands halves every stage — the
+"exponential order" access pattern the paper names as a case where
+static disambiguation fails — and the array is a procedure parameter on
+top of that.
+"""
+
+NAME = "fft"
+SUITE = "NRC"
+DESCRIPTION = "Fast Fourier transform."
+
+SOURCE = r"""
+float data[132];   // 1-based interleaved complex array for nn = 64
+
+// NRC four1: in-place complex FFT, isign = +1 forward / -1 inverse
+void four1(float d[], int nn, int isign) {
+    int n;
+    int mmax;
+    int m;
+    int j;
+    int istep;
+    int i;
+    float wtemp;
+    float wr;
+    float wpr;
+    float wpi;
+    float wi;
+    float theta;
+    float tempr;
+    float tempi;
+    n = nn * 2;
+    j = 1;
+    for (i = 1; i < n; i = i + 2) {      // bit-reversal section
+        if (j > i) {
+            tempr = d[j];
+            d[j] = d[i];
+            d[i] = tempr;
+            tempi = d[j + 1];
+            d[j + 1] = d[i + 1];
+            d[i + 1] = tempi;
+        }
+        m = nn;
+        while (m >= 2 && j > m) {
+            j = j - m;
+            m = m / 2;
+        }
+        j = j + m;
+    }
+    mmax = 2;                            // Danielson-Lanczos section
+    while (n > mmax) {
+        istep = mmax * 2;
+        theta = isign * (6.28318530717959 / mmax);
+        wtemp = sin(0.5 * theta);
+        wpr = -2.0 * wtemp * wtemp;
+        wpi = sin(theta);
+        wr = 1.0;
+        wi = 0.0;
+        for (m = 1; m < mmax; m = m + 2) {
+            for (i = m; i <= n; i = i + istep) {
+                j = i + mmax;
+                tempr = wr * d[j] - wi * d[j + 1];
+                tempi = wr * d[j + 1] + wi * d[j];
+                d[j] = d[i] - tempr;
+                d[j + 1] = d[i + 1] - tempi;
+                d[i] = d[i] + tempr;
+                d[i + 1] = d[i + 1] + tempi;
+            }
+            wtemp = wr;
+            wr = wr * wpr - wi * wpi + wr;
+            wi = wi * wpr + wtemp * wpi + wi;
+        }
+        mmax = istep;
+    }
+}
+
+int main() {
+    int nn;
+    int i;
+    float sum;
+    nn = 64;
+    // two-tone test signal
+    for (i = 1; i <= nn; i = i + 1) {
+        data[2 * i - 1] = sin(0.4908738521 * (i - 1))
+                        + 0.5 * cos(1.9634954085 * (i - 1));
+        data[2 * i] = 0.0;
+    }
+    four1(data, nn, 1);
+    // spectral magnitude checksum + dominant bins
+    sum = 0.0;
+    for (i = 1; i <= nn; i = i + 1) {
+        sum = sum + data[2 * i - 1] * data[2 * i - 1]
+                  + data[2 * i] * data[2 * i];
+    }
+    print(sum);
+    print(data[11]);
+    print(data[12]);
+    four1(data, nn, -1);              // inverse (unnormalised)
+    print(data[1] / nn);
+    print(data[21] / nn);
+    return 0;
+}
+"""

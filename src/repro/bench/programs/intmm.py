@@ -1,0 +1,64 @@
+"""intmm — integer matrix multiply (Stanford Integer).
+
+Affine subscripts over global matrices: bread and butter for the
+GCD/Banerjee static disambiguator, so SpD should find little to do —
+one of the paper's "unaffected" Stanford programs.
+"""
+
+NAME = "intmm"
+SUITE = "StanfInt"
+DESCRIPTION = "Integer matrix multiplication."
+
+SOURCE = r"""
+int ma[16][16];
+int mb[16][16];
+int mr[16][16];
+int seed[1];
+
+int rand16() {
+    seed[0] = (seed[0] * 1309 + 13849) % 65536;
+    return seed[0];
+}
+
+void initmatrix(int m[][16]) {
+    int i;
+    int j;
+    for (i = 0; i < 16; i = i + 1) {
+        for (j = 0; j < 16; j = j + 1) {
+            m[i][j] = rand16() % 120 - 60;
+        }
+    }
+}
+
+void innerproduct(int r[][16], int a[][16], int b[][16], int i, int j) {
+    int k;
+    int s;
+    s = 0;
+    for (k = 0; k < 16; k = k + 1) {
+        s = s + a[i][k] * b[k][j];
+    }
+    r[i][j] = s;
+}
+
+int main() {
+    int i;
+    int j;
+    int trace;
+    seed[0] = 74755;
+    initmatrix(ma);
+    initmatrix(mb);
+    for (i = 0; i < 16; i = i + 1) {
+        for (j = 0; j < 16; j = j + 1) {
+            innerproduct(mr, ma, mb, i, j);
+        }
+    }
+    trace = 0;
+    for (i = 0; i < 16; i = i + 1) {
+        trace = trace + mr[i][i];
+    }
+    print(trace);
+    print(mr[0][0]);
+    print(mr[15][15]);
+    return 0;
+}
+"""

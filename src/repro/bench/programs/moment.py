@@ -1,0 +1,84 @@
+"""moment — moments of a distribution (NRC).
+
+A faithful port of NRC's ``moment(data, n, *ave, *adev, *sdev, *var,
+*skew, *curt)``: the six results are returned through pointers, and the
+accumulation loops read and write them *through those pointers* on
+every iteration.  tinyc has no scalar pointers, so each out-parameter
+is a one-element array — the ambiguity is identical: every
+``adev[0] = adev[0] + ...`` is a load/store pair the static
+disambiguator cannot separate from ``data[]`` or from the other
+accumulators, which is where the paper's 7-8 RAW SpD applications for
+moment come from.
+"""
+
+NAME = "moment"
+SUITE = "NRC"
+DESCRIPTION = "Moments of distribution."
+
+SOURCE = r"""
+float samples[202];
+float r_ave[1];
+float r_adev[1];
+float r_sdev[1];
+float r_var[1];
+float r_skew[1];
+float r_curt[1];
+
+// NRC moment: results delivered through pointer parameters
+void moment(float data[], int n, float ave[], float adev[], float sdev[],
+            float var[], float skew[], float curt[]) {
+    int j;
+    float s;
+    float ep;
+    float p;
+    s = 0.0;
+    for (j = 1; j <= n; j = j + 1) {
+        s = s + data[j];
+    }
+    ave[0] = s / n;
+    adev[0] = 0.0;
+    var[0] = 0.0;
+    skew[0] = 0.0;
+    curt[0] = 0.0;
+    ep = 0.0;
+    for (j = 1; j <= n; j = j + 1) {
+        s = data[j] - ave[0];
+        ep = ep + s;
+        adev[0] = adev[0] + fabs(s);
+        p = s * s;
+        var[0] = var[0] + p;
+        p = p * s;
+        skew[0] = skew[0] + p;
+        p = p * s;
+        curt[0] = curt[0] + p;
+    }
+    adev[0] = adev[0] / n;
+    var[0] = (var[0] - ep * ep / n) / (n - 1);
+    sdev[0] = sqrt(var[0]);
+    if (var[0] > 0.0) {
+        skew[0] = skew[0] / (n * sdev[0] * sdev[0] * sdev[0]);
+        curt[0] = curt[0] / (n * var[0] * var[0]) - 3.0;
+    } else {
+        skew[0] = 0.0;
+        curt[0] = 0.0;
+    }
+}
+
+int main() {
+    int n;
+    int j;
+    n = 200;
+    // mildly skewed deterministic sample
+    for (j = 1; j <= n; j = j + 1) {
+        samples[j] = sin(0.7 * j) + 0.3 * sin(1.9 * j) * sin(1.9 * j) + 0.01 * j;
+    }
+    moment(samples, n, r_ave, r_adev, r_sdev, r_var, r_skew, r_curt);
+    print(r_ave[0]);
+    print(r_adev[0]);
+    print(r_sdev[0]);
+    print(r_var[0]);
+    print(r_skew[0]);
+    print(r_curt[0]);
+    return 0;
+}
+"""

@@ -1,0 +1,52 @@
+"""perm — recursive permutation program (Stanford Integer)."""
+
+NAME = "perm"
+SUITE = "StanfInt"
+DESCRIPTION = "Recursive permutation program."
+
+SOURCE = r"""
+int permarray[12];
+int pctr[1];
+
+void swap(int a[], int i, int j) {
+    int t;
+    t = a[i];
+    a[i] = a[j];
+    a[j] = t;
+}
+
+void initialize(int n) {
+    int i;
+    for (i = 1; i <= n; i = i + 1) {
+        permarray[i] = i - 1;
+    }
+}
+
+void permute(int n) {
+    int k;
+    pctr[0] = pctr[0] + 1;
+    if (n != 1) {
+        permute(n - 1);
+        for (k = n - 1; k >= 1; k = k - 1) {
+            swap(permarray, n, k);
+            permute(n - 1);
+            swap(permarray, n, k);
+        }
+    }
+}
+
+int main() {
+    int i;
+    int n;
+    n = 6;
+    pctr[0] = 0;
+    for (i = 0; i < 3; i = i + 1) {
+        initialize(n);
+        permute(n);
+    }
+    print(pctr[0]);
+    print(permarray[1]);
+    print(permarray[6]);
+    return 0;
+}
+"""

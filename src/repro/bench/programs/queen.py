@@ -1,0 +1,61 @@
+"""queen — eight queens problem (Stanford Integer).
+
+As in the original Stanford benchmark, the occupancy arrays are passed
+into the recursive ``place`` routine as parameters, so the board-state
+loads and the place/unplace stores are ambiguously aliased.
+"""
+
+NAME = "queen"
+SUITE = "StanfInt"
+DESCRIPTION = "Eight queens problem."
+
+SOURCE = r"""
+int colfree[9];       // 1..8
+int updiag[17];       // 2..16: row + col
+int dndiag[16];       // indexed row - col + 8 in 1..15
+int posit[9];         // queen row per column
+int solutions[1];
+
+void place(int col, int a[], int b[], int c[], int x[], int count[]) {
+    int row;
+    for (row = 1; row <= 8; row = row + 1) {
+        if (a[row] == 1) {
+            if (b[row + col] == 1) {
+                if (c[row - col + 8] == 1) {
+                    x[col] = row;
+                    a[row] = 0;
+                    b[row + col] = 0;
+                    c[row - col + 8] = 0;
+                    if (col == 8) {
+                        count[0] = count[0] + 1;
+                    } else {
+                        place(col + 1, a, b, c, x, count);
+                    }
+                    a[row] = 1;
+                    b[row + col] = 1;
+                    c[row - col + 8] = 1;
+                }
+            }
+        }
+    }
+}
+
+int main() {
+    int i;
+    solutions[0] = 0;
+    for (i = 1; i <= 8; i = i + 1) {
+        colfree[i] = 1;
+    }
+    for (i = 2; i <= 16; i = i + 1) {
+        updiag[i] = 1;
+    }
+    for (i = 1; i <= 15; i = i + 1) {
+        dndiag[i] = 1;
+    }
+    place(1, colfree, updiag, dndiag, posit, solutions);
+    print(solutions[0]);   // 92 solutions for 8 queens
+    print(posit[1]);
+    print(posit[8]);
+    return 0;
+}
+"""

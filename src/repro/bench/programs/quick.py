@@ -1,0 +1,85 @@
+"""quick — quicksort (Stanford Integer).
+
+The benchmark the paper singles out: "for the benchmark quick, SPEC
+outperforms PERFECT, despite the code overhead incurred by SpD" — the
+partition loop's ``a[i]``/``a[j]`` accesses do alias on some iterations
+(so PERFECT must keep the arc) yet are independent most of the time.
+"""
+
+NAME = "quick"
+SUITE = "StanfInt"
+DESCRIPTION = "Quicksort."
+
+SOURCE = r"""
+int sortlist[260];
+int seed[1];
+
+int rand16() {
+    seed[0] = (seed[0] * 1309 + 13849) % 65536;
+    return seed[0];
+}
+
+void initarr(int n) {
+    int i;
+    seed[0] = 74755;
+    for (i = 1; i <= n; i = i + 1) {
+        sortlist[i] = rand16() % 4096;
+    }
+}
+
+void quicksort(int a[], int l, int r) {
+    int i;
+    int j;
+    int x;
+    int w;
+    i = l;
+    j = r;
+    x = a[(l + r) / 2];
+    while (i <= j) {
+        while (a[i] < x) {
+            i = i + 1;
+        }
+        while (x < a[j]) {
+            j = j - 1;
+        }
+        if (i <= j) {
+            w = a[i];
+            a[i] = a[j];
+            a[j] = w;
+            i = i + 1;
+            j = j - 1;
+        }
+    }
+    if (l < j) {
+        quicksort(a, l, j);
+    }
+    if (i < r) {
+        quicksort(a, i, r);
+    }
+}
+
+int main() {
+    int n;
+    int i;
+    int sum;
+    int sorted;
+    n = 256;
+    initarr(n);
+    quicksort(sortlist, 1, n);
+    sum = 0;
+    sorted = 1;
+    for (i = 1; i <= n; i = i + 1) {
+        sum = sum + sortlist[i];
+        if (i > 1) {
+            if (sortlist[i - 1] > sortlist[i]) {
+                sorted = 0;
+            }
+        }
+    }
+    print(sorted);
+    print(sum);
+    print(sortlist[1]);
+    print(sortlist[256]);
+    return 0;
+}
+"""

@@ -1,0 +1,144 @@
+"""smooft — smoothing of data (NRC).
+
+NRC's ``smooft`` smooths a sampled signal in the frequency domain:
+remove the linear trend, transform, attenuate high-frequency bins with
+the NRC window ``1/(1+(j/const)^2)`` shape, transform back, restore the
+trend.  Substitution note: NRC routes through ``realft``; we pack the
+real signal into the interleaved-complex ``four1`` (imaginary parts
+zero) and transform with it directly — same butterflies, same ambiguous
+strided accesses, one less wrapper.
+"""
+
+NAME = "smooft"
+SUITE = "NRC"
+DESCRIPTION = "Smoothing of data."
+
+SOURCE = r"""
+float sig[140];        // the signal, 1-based, n = 64
+float work[140];       // interleaved complex workspace for four1
+
+void four1(float d[], int nn, int isign) {
+    int n;
+    int mmax;
+    int m;
+    int j;
+    int istep;
+    int i;
+    float wtemp;
+    float wr;
+    float wpr;
+    float wpi;
+    float wi;
+    float theta;
+    float tempr;
+    float tempi;
+    n = nn * 2;
+    j = 1;
+    for (i = 1; i < n; i = i + 2) {
+        if (j > i) {
+            tempr = d[j];
+            d[j] = d[i];
+            d[i] = tempr;
+            tempi = d[j + 1];
+            d[j + 1] = d[i + 1];
+            d[i + 1] = tempi;
+        }
+        m = nn;
+        while (m >= 2 && j > m) {
+            j = j - m;
+            m = m / 2;
+        }
+        j = j + m;
+    }
+    mmax = 2;
+    while (n > mmax) {
+        istep = mmax * 2;
+        theta = isign * (6.28318530717959 / mmax);
+        wtemp = sin(0.5 * theta);
+        wpr = -2.0 * wtemp * wtemp;
+        wpi = sin(theta);
+        wr = 1.0;
+        wi = 0.0;
+        for (m = 1; m < mmax; m = m + 2) {
+            for (i = m; i <= n; i = i + istep) {
+                j = i + mmax;
+                tempr = wr * d[j] - wi * d[j + 1];
+                tempi = wr * d[j + 1] + wi * d[j];
+                d[j] = d[i] - tempr;
+                d[j + 1] = d[i + 1] - tempi;
+                d[i] = d[i] + tempr;
+                d[i + 1] = d[i + 1] + tempi;
+            }
+            wtemp = wr;
+            wr = wr * wpr - wi * wpi + wr;
+            wi = wi * wpr + wtemp * wpi + wi;
+        }
+        mmax = istep;
+    }
+}
+
+// NRC smooft (simplified transform plumbing, same smoothing window)
+void smooft(float y[], int n, float pts) {
+    int j;
+    float y1;
+    float yn;
+    float rn1;
+    float slope;
+    float cnst;
+    float fac;
+    float scale;
+    y1 = y[1];
+    yn = y[n];
+    rn1 = 1.0 / (n - 1);
+    // remove the linear trend
+    for (j = 1; j <= n; j = j + 1) {
+        slope = rn1 * (yn - y1);
+        y[j] = y[j] - y1 - slope * (j - 1);
+    }
+    // pack into the complex workspace and transform
+    for (j = 1; j <= n; j = j + 1) {
+        work[2 * j - 1] = y[j];
+        work[2 * j] = 0.0;
+    }
+    four1(work, n, 1);
+    // attenuate: NRC window 1 / (1 + (j/const)^2)
+    cnst = pts / n;
+    for (j = 2; j <= n / 2; j = j + 1) {
+        fac = (j - 1) * cnst;
+        scale = 1.0 / (1.0 + fac * fac);
+        work[2 * j - 1] = work[2 * j - 1] * scale;
+        work[2 * j] = work[2 * j] * scale;
+        // mirror bin (complex conjugate position)
+        work[2 * (n - j + 2) - 1] = work[2 * (n - j + 2) - 1] * scale;
+        work[2 * (n - j + 2)] = work[2 * (n - j + 2)] * scale;
+    }
+    work[n + 1] = work[n + 1] / (1.0 + 0.25 * n * cnst * n * cnst);
+    four1(work, n, -1);
+    // unpack, normalise, restore the trend
+    for (j = 1; j <= n; j = j + 1) {
+        slope = rn1 * (yn - y1);
+        y[j] = work[2 * j - 1] / n + y1 + slope * (j - 1);
+    }
+}
+
+int main() {
+    int n;
+    int j;
+    float sum;
+    n = 64;
+    for (j = 1; j <= n; j = j + 1) {
+        // smooth ramp + high-frequency noise
+        sig[j] = 0.05 * j + 0.4 * sin(2.8 * j) + 0.2 * cos(2.2 * j);
+    }
+    smooft(sig, n, 8.0);
+    sum = 0.0;
+    for (j = 1; j <= n; j = j + 1) {
+        sum = sum + sig[j];
+    }
+    print(sum);
+    print(sig[1]);
+    print(sig[32]);
+    print(sig[64]);
+    return 0;
+}
+"""

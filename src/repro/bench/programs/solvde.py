@@ -1,0 +1,122 @@
+"""solvde — relaxation for two-point boundary value problems (NRC).
+
+Substitution note: NRC's full ``solvde`` drives problem-specific
+``difeq`` callbacks through ``pinvs``/``red`` block elimination.  We
+reproduce the same computational skeleton on a concrete problem —
+Newton relaxation of the finite-difference equations for
+``y'' = -y`` with ``y(0) = 0``, ``y'(x1) matched via y(x1) = 1`` on a
+uniform mesh — with the per-iteration correction system solved by
+forward block elimination and back-substitution over parameter arrays.
+The structure preserved: an outer relaxation loop, an inner elimination
+sweep with first-order recurrences over procedure parameters, damped
+correction application, and a max-error convergence test.
+"""
+
+NAME = "solvde"
+SUITE = "NRC"
+DESCRIPTION = "Relaxation method for two point boundary value problems."
+
+SOURCE = r"""
+float yy[44];         // mesh solution, 1-based, m points
+float err[44];        // FD residuals
+float corr[44];       // Newton corrections
+float ca[44];         // elimination coefficients
+float cb[44];
+float ccv[44];
+float cg[44];
+
+// residual of the finite-difference equations  y'' + y = 0, and the
+// Newton-correction system coefficients, built in the same sweep (the
+// stores to a/b/c/r interleave with the y[] loads, as in NRC difeq)
+void difeq(float y[], float e[], float a[], float b[], float c[],
+           float r[], int m, float h) {
+    int k;
+    for (k = 2; k < m; k = k + 1) {
+        a[k] = 1.0;
+        b[k] = h * h - 2.0;
+        c[k] = 1.0;
+        e[k] = y[k + 1] - 2.0 * y[k] + y[k - 1] + h * h * y[k];
+        r[k] = -e[k];
+    }
+    a[1] = 0.0;  b[1] = 1.0;  c[1] = 0.0;
+    e[1] = y[1];              // boundary y(0) = 0
+    r[1] = -e[1];
+    a[m] = 0.0;  b[m] = 1.0;  c[m] = 0.0;
+    e[m] = y[m] - 1.0;        // boundary y(x1) = 1
+    r[m] = -e[m];
+}
+
+// solve the correction system (tridiagonal Newton step), elimination
+// with first-order recurrences over parameter arrays
+void eliminate(float a[], float b[], float c[], float r[], float u[],
+               int m, float gam[]) {
+    int k;
+    float bet;
+    bet = b[1];
+    u[1] = r[1] / bet;
+    for (k = 2; k <= m; k = k + 1) {
+        gam[k] = c[k - 1] / bet;
+        bet = b[k] - a[k] * gam[k];
+        u[k] = (r[k] - a[k] * u[k - 1]) / bet;
+    }
+    for (k = m - 1; k >= 1; k = k - 1) {
+        u[k] = u[k] - gam[k + 1] * u[k + 1];
+    }
+}
+
+// one relaxation sweep; returns the max correction magnitude
+float relax(float y[], float e[], float co[], float a[], float b[],
+            float c[], float gam[], int m, float h, float slowc) {
+    int k;
+    float emax;
+    float scale;
+    difeq(y, e, a, b, c, co, m, h);
+    eliminate(a, b, c, co, co, m, gam);
+    emax = 0.0;
+    for (k = 1; k <= m; k = k + 1) {
+        if (fabs(co[k]) > emax) {
+            emax = fabs(co[k]);
+        }
+    }
+    scale = slowc;
+    if (emax > 1.0) {
+        scale = slowc / emax;     // NRC-style damping of large steps
+    }
+    for (k = 1; k <= m; k = k + 1) {
+        y[k] = y[k] + scale * co[k];
+    }
+    return emax;
+}
+
+int main() {
+    int m;
+    int k;
+    int it;
+    int itmax;
+    float h;
+    float emax;
+    float conv;
+    float x1;
+    m = 41;
+    x1 = 1.5707963268;        // pi/2
+    h = x1 / (m - 1);
+    conv = 0.000001;
+    itmax = 40;
+    // crude initial guess: straight line between the boundaries
+    for (k = 1; k <= m; k = k + 1) {
+        yy[k] = (k - 1.0) / (m - 1.0);
+    }
+    it = 0;
+    emax = 1.0;
+    while (it < itmax && emax > conv) {
+        emax = relax(yy, err, corr, ca, cb, ccv, cg, m, h, 1.0);
+        it = it + 1;
+    }
+    print(it);
+    print(emax);
+    print(yy[21]);            // ~ sin(pi/4)
+    print(yy[11]);
+    print(yy[31]);
+    return 0;
+}
+"""

@@ -1,0 +1,60 @@
+"""towers — Towers of Hanoi (Stanford Integer).
+
+One of the Stanford programs the paper reports as unaffected by SpD:
+its decision trees are tiny and its memory traffic is a disciplined
+stack discipline.
+"""
+
+NAME = "towers"
+SUITE = "StanfInt"
+DESCRIPTION = "Towers of Hanoi."
+
+SOURCE = r"""
+int stacks[3][20];     // disc sizes per peg, bottom first
+int height[3];
+int moves[1];
+
+void push(int peg, int disc) {
+    stacks[peg][height[peg]] = disc;
+    height[peg] = height[peg] + 1;
+}
+
+int pop(int peg) {
+    height[peg] = height[peg] - 1;
+    return stacks[peg][height[peg]];
+}
+
+void movedisc(int from, int to) {
+    push(to, pop(from));
+    moves[0] = moves[0] + 1;
+}
+
+void tower(int from, int to, int via, int n) {
+    if (n == 1) {
+        movedisc(from, to);
+    } else {
+        tower(from, via, to, n - 1);
+        movedisc(from, to);
+        tower(via, to, from, n - 1);
+    }
+}
+
+int main() {
+    int n;
+    int i;
+    n = 12;
+    height[0] = 0;
+    height[1] = 0;
+    height[2] = 0;
+    moves[0] = 0;
+    for (i = n; i >= 1; i = i - 1) {
+        push(0, i);
+    }
+    tower(0, 2, 1, n);
+    print(moves[0]);          // 2^n - 1
+    print(height[2]);         // all discs on peg 2
+    print(stacks[2][0]);      // largest at the bottom
+    print(stacks[2][n - 1]);  // smallest on top
+    return 0;
+}
+"""

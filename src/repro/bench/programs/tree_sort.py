@@ -1,0 +1,95 @@
+"""tree — treesort (Stanford Integer).
+
+Binary-search-tree sort.  Stanford's version chases heap pointers; tinyc
+has no pointers, so nodes live in parallel index arrays (``left``,
+``right``, ``val``) and child links are array indices — the "address
+read out of another memory location" pattern (paper Section 2.1) that
+static disambiguation cannot analyse.
+"""
+
+NAME = "tree"
+SUITE = "StanfInt"
+DESCRIPTION = "Treesort."
+
+SOURCE = r"""
+int lft[300];
+int rgt[300];
+int val[300];
+int nodecount[1];
+int seed[1];
+int checksum[1];
+
+int rand16() {
+    seed[0] = (seed[0] * 1309 + 13849) % 65536;
+    return seed[0];
+}
+
+int newnode(int v) {
+    int id;
+    id = nodecount[0];
+    nodecount[0] = id + 1;
+    val[id] = v;
+    lft[id] = -1;
+    rgt[id] = -1;
+    return id;
+}
+
+void insert(int v, int t) {
+    if (v < val[t]) {
+        if (lft[t] == -1) {
+            lft[t] = newnode(v);
+        } else {
+            insert(v, lft[t]);
+        }
+    } else {
+        if (rgt[t] == -1) {
+            rgt[t] = newnode(v);
+        } else {
+            insert(v, rgt[t]);
+        }
+    }
+}
+
+// in-order traversal accumulating an order-sensitive checksum;
+// returns 0 if the ordering invariant is violated
+int checktree(int p) {
+    int ok;
+    ok = 1;
+    if (lft[p] != -1) {
+        if (val[lft[p]] >= val[p]) {
+            ok = 0;
+        }
+        if (checktree(lft[p]) == 0) {
+            ok = 0;
+        }
+    }
+    checksum[0] = (checksum[0] * 3 + val[p]) % 100000;
+    if (rgt[p] != -1) {
+        if (val[rgt[p]] < val[p]) {
+            ok = 0;
+        }
+        if (checktree(rgt[p]) == 0) {
+            ok = 0;
+        }
+    }
+    return ok;
+}
+
+int main() {
+    int n;
+    int i;
+    int root;
+    n = 200;
+    seed[0] = 74755;
+    nodecount[0] = 0;
+    checksum[0] = 0;
+    root = newnode(rand16() % 4096);
+    for (i = 2; i <= n; i = i + 1) {
+        insert(rand16() % 4096, root);
+    }
+    print(checktree(root));
+    print(checksum[0]);
+    print(nodecount[0]);
+    return 0;
+}
+"""

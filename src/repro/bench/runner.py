@@ -1,0 +1,133 @@
+"""Benchmark runner: compile, profile, disambiguate, time.
+
+Mirrors the paper's experimental flow (Section 6.1): "The C compiler
+generates decision trees from the benchmark source codes.  The decision
+trees are then processed by the disambiguator before being fed into the
+simulator, which produces an execution cycle count.  It also produces
+the program output, which is used to validate the correctness of the
+decision trees."
+
+Compilation and profiling results are cached per benchmark (they do not
+depend on the machine configuration); disambiguation is cached per
+(benchmark, disambiguator, memory latency) since only SPEC's Gain()
+estimates see the latency table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..disambig.pipeline import DisambiguationResult, Disambiguator, disambiguate
+from ..disambig.spd_heuristic import SpDConfig
+from ..frontend.grafting import GraftConfig, graft_program
+from ..ir.program import Program
+from ..machine.description import LifeMachine, machine
+from ..sim.evaluate import ProgramTiming, evaluate_program
+from ..sim.interpreter import RunResult, run_program
+from .suite import Benchmark, get_benchmark
+
+__all__ = ["CompiledBenchmark", "BenchmarkRunner"]
+
+
+@dataclass
+class CompiledBenchmark:
+    """A benchmark after compilation and the profiling run."""
+
+    benchmark: Benchmark
+    program: Program
+    reference: RunResult
+
+    @property
+    def profile(self):
+        return self.reference.profile
+
+    @property
+    def base_size(self) -> int:
+        return self.program.size()
+
+
+class BenchmarkRunner:
+    """Caches every stage of the paper's experimental flow."""
+
+    def __init__(self, spd_config: SpDConfig = SpDConfig(),
+                 validate_spec_output: bool = True,
+                 graft: Optional[GraftConfig] = None):
+        self.spd_config = spd_config
+        self.validate_spec_output = validate_spec_output
+        self.graft = graft
+        self._compiled: Dict[str, CompiledBenchmark] = {}
+        self._views: Dict[Tuple[str, Disambiguator, int],
+                          DisambiguationResult] = {}
+        self._timings: Dict[Tuple[str, Disambiguator, Optional[int], int],
+                            ProgramTiming] = {}
+
+    # -- stages ------------------------------------------------------------
+
+    def compiled(self, name: str) -> CompiledBenchmark:
+        cached = self._compiled.get(name)
+        if cached is None:
+            from ..frontend.driver import compile_source
+            benchmark = get_benchmark(name)
+            program = compile_source(benchmark.source)
+            if self.graft is not None:
+                # grafting changes the tree structure, so the profile is
+                # collected on (and the pipelines run against) the
+                # grafted program
+                program, _stats = graft_program(program, self.graft)
+            reference = run_program(program)
+            cached = CompiledBenchmark(benchmark, program, reference)
+            self._compiled[name] = cached
+        return cached
+
+    def view(self, name: str, kind: Disambiguator,
+             memory_latency: int = 2) -> DisambiguationResult:
+        key = (name, kind, memory_latency if kind is Disambiguator.SPEC else 0)
+        cached = self._views.get(key)
+        if cached is None:
+            compiled = self.compiled(name)
+            cached = disambiguate(
+                compiled.program, kind, profile=compiled.profile,
+                machine=machine(None, memory_latency),
+                spd_config=self.spd_config)
+            if kind is Disambiguator.SPEC and self.validate_spec_output:
+                transformed = run_program(cached.program.copy(),
+                                          collect_profile=False)
+                if not compiled.reference.output_equal(transformed):
+                    raise AssertionError(
+                        f"SpD changed the output of benchmark {name!r}")
+            self._views[key] = cached
+        return cached
+
+    def timing(self, name: str, kind: Disambiguator,
+               mach: LifeMachine) -> ProgramTiming:
+        key = (name, kind, mach.num_fus, mach.memory_latency)
+        cached = self._timings.get(key)
+        if cached is None:
+            compiled = self.compiled(name)
+            view = self.view(name, kind, mach.memory_latency)
+            cached = evaluate_program(view.program, view.graphs, mach,
+                                      compiled.profile)
+            self._timings[key] = cached
+        return cached
+
+    # -- headline metrics ----------------------------------------------------
+
+    def speedup_over_naive(self, name: str, kind: Disambiguator,
+                           mach: LifeMachine) -> float:
+        """Figure 6-2 metric: NAIVE cycles / kind cycles - 1."""
+        naive = self.timing(name, Disambiguator.NAIVE, mach)
+        other = self.timing(name, kind, mach)
+        return other.speedup_over(naive)
+
+    def spec_over_static(self, name: str, mach: LifeMachine) -> float:
+        """Figure 6-3 metric: STATIC cycles / SPEC cycles - 1."""
+        static = self.timing(name, Disambiguator.STATIC, mach)
+        spec = self.timing(name, Disambiguator.SPEC, mach)
+        return spec.speedup_over(static)
+
+    def code_growth(self, name: str, memory_latency: int = 2) -> float:
+        """Figure 6-4 metric: fractional operation-count increase."""
+        compiled = self.compiled(name)
+        spec = self.view(name, Disambiguator.SPEC, memory_latency)
+        return spec.code_size() / compiled.base_size - 1.0

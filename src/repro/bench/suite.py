@@ -1,0 +1,70 @@
+"""The benchmark suite — paper Table 6-2.
+
+Eleven benchmarks the paper reports numbers for (six Numerical Recipes
+kernels, four Stanford Integer programs, espresso) plus the three
+Stanford programs the paper mentions as "not affected by SpD at all"
+(towers, intmm, bubble — reported here rather than silently dropped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .programs import (adi, bcuint, bubble, espresso_mini, fft, intmm,
+                       moment, perm, queen, quick, smooft, solvde, towers,
+                       tree_sort)
+
+__all__ = ["Benchmark", "SUITE", "REPORTED", "UNAFFECTED", "NRC_BENCHMARKS",
+           "get_benchmark", "benchmark_names"]
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    name: str
+    suite: str
+    description: str
+    source: str
+
+    @property
+    def source_lines(self) -> int:
+        """Non-blank, non-comment source lines (Table 6-2's Lines column
+        counts the original C; this counts our tinyc port)."""
+        count = 0
+        for line in self.source.splitlines():
+            stripped = line.strip()
+            if stripped and not stripped.startswith("//"):
+                count += 1
+        return count
+
+
+_MODULES = [adi, bcuint, fft, moment, smooft, solvde,
+            perm, queen, quick, tree_sort, towers, intmm, bubble,
+            espresso_mini]
+
+SUITE: Dict[str, Benchmark] = {
+    module.NAME: Benchmark(module.NAME, module.SUITE, module.DESCRIPTION,
+                           module.SOURCE)
+    for module in _MODULES
+}
+
+#: The eleven benchmarks whose numbers appear in Tables 6-3 / Figures 6-2..4.
+REPORTED: List[str] = ["adi", "bcuint", "fft", "moment", "smooft", "solvde",
+                       "perm", "queen", "quick", "tree", "espresso"]
+
+#: Stanford programs the paper says SpD did not affect.
+UNAFFECTED: List[str] = ["towers", "intmm", "bubble"]
+
+#: The NRC subset used in Figure 6-3.
+NRC_BENCHMARKS: List[str] = ["adi", "bcuint", "fft", "moment", "smooft",
+                             "solvde"]
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """The registered benchmark named *name* (KeyError if unknown)."""
+    return SUITE[name]
+
+
+def benchmark_names() -> List[str]:
+    """All registered benchmark names, suite order."""
+    return list(SUITE)

@@ -1,0 +1,228 @@
+"""Command-line interface: compile, run, analyse and report.
+
+Usage (also via ``python -m repro``)::
+
+    repro run PROGRAM.tc                 # execute a tinyc program
+    repro compile PROGRAM.tc             # dump the decision-tree IR
+    repro analyze PROGRAM.tc [options]   # cycles under all disambiguators
+    repro bench NAME [options]           # same for a built-in benchmark
+    repro report {table6_1,...,all}      # regenerate a paper table/figure
+    repro list                           # list built-in benchmarks
+
+Options shared by ``analyze``/``bench``: ``--fus N`` (default 5,
+0 = infinite), ``--memory {2,6}`` (default 6), ``--graft``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench.runner import BenchmarkRunner
+from .bench.suite import SUITE
+from .disambig.pipeline import Disambiguator, disambiguate
+from .frontend.driver import compile_source
+from .frontend.grafting import GraftConfig, graft_program
+from .ir.printer import format_program
+from .machine.description import machine
+from .sim.evaluate import evaluate_program
+from .sim.interpreter import run_program
+
+__all__ = ["main"]
+
+
+def _load_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _machine_from(args) -> "machine":
+    num_fus = None if args.fus == 0 else args.fus
+    return machine(num_fus, args.memory)
+
+
+def _cmd_run(args) -> int:
+    program = compile_source(_load_source(args.program))
+    result = run_program(program)
+    for value in result.output:
+        print(value)
+    print(f"[{result.steps} operations executed]", file=sys.stderr)
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    program = compile_source(_load_source(args.program))
+    if args.graft:
+        program, stats = graft_program(program)
+        print(f"; grafted: {stats.grafts} grafts, "
+              f"{stats.ops_before} -> {stats.ops_after} ops", file=sys.stderr)
+    print(format_program(program))
+    return 0
+
+
+def _analyze(program, mach, label: str) -> int:
+    reference = run_program(program)
+    print(f"{label}: {program.size()} ops, output {reference.output[:6]}"
+          f"{'...' if len(reference.output) > 6 else ''}")
+    print(f"machine: {mach.name}")
+    naive_cycles: Optional[int] = None
+    for kind in Disambiguator:
+        view = disambiguate(program, kind, profile=reference.profile,
+                            machine=mach)
+        timing = evaluate_program(view.program, view.graphs, mach,
+                                  reference.profile)
+        if kind is Disambiguator.NAIVE:
+            naive_cycles = timing.cycles
+        speedup = naive_cycles / timing.cycles - 1 if timing.cycles else 0.0
+        extra = ""
+        if kind is Disambiguator.SPEC:
+            counts = {k.value.split("_")[1]: v
+                      for k, v in view.spd_counts().items() if v}
+            extra = f"  SpD: {counts or 'none'}"
+        print(f"  {kind.value:>8}: {timing.cycles:10d} cycles "
+              f"({speedup:+7.1%} vs naive){extra}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    program = compile_source(_load_source(args.program))
+    if args.graft:
+        program, _stats = graft_program(program)
+    return _analyze(program, _machine_from(args), args.program)
+
+
+def _cmd_bench(args) -> int:
+    if args.name not in SUITE:
+        print(f"unknown benchmark {args.name!r}; see 'repro list'",
+              file=sys.stderr)
+        return 2
+    runner = BenchmarkRunner(
+        graft=GraftConfig() if args.graft else None)
+    compiled = runner.compiled(args.name)
+    return _analyze(compiled.program, _machine_from(args), args.name)
+
+
+def _cmd_schedule(args) -> int:
+    from .sched.dump import format_schedule
+    from .sched.list_scheduler import list_schedule
+
+    program = compile_source(_load_source(args.program))
+    if args.graft:
+        program, _stats = graft_program(program)
+    mach = _machine_from(args)
+    if mach.is_infinite:
+        print("schedule dumps need a finite machine (--fus N > 0)",
+              file=sys.stderr)
+        return 2
+    profile = run_program(program).profile
+    kind = Disambiguator.SPEC if args.spec else Disambiguator.STATIC
+    view = disambiguate(program, kind, profile=profile, machine=mach)
+    for (func, name), graph in sorted(view.graphs.items()):
+        if args.tree and args.tree not in name:
+            continue
+        print(f"=== {name} ({kind.value}) ===")
+        print(format_schedule(graph, list_schedule(graph, mach)))
+        print()
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    for name, benchmark in SUITE.items():
+        print(f"{name:10s} {benchmark.suite:9s} {benchmark.description}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .experiments import (ablation, figure6_2, figure6_3, figure6_4,
+                              table6_1, table6_2, table6_3)
+    runner = BenchmarkRunner()
+    producers = {
+        "table6_1": lambda: table6_1.run().render(),
+        "table6_2": lambda: table6_2.run().render(),
+        "table6_3": lambda: table6_3.run(runner).render(),
+        "figure6_2": lambda: figure6_2.run(runner).render(),
+        "figure6_3": lambda: figure6_3.run(runner).render(),
+        "figure6_4": lambda: figure6_4.run(runner).render(),
+        "ablation_knobs": lambda: ablation.run_knob_sweep(
+            max_expansions=(1.25, 2.0), min_gains=(0.5, 2.0)).render(),
+        "ablation_alias_prob":
+            lambda: ablation.run_alias_probability_study().render(),
+        "ablation_grafting": lambda: ablation.run_grafting_study().render(),
+        "ablation_combined": lambda: ablation.run_combined_study().render(),
+    }
+    wanted = list(producers) if args.which == "all" else [args.which]
+    for which in wanted:
+        print(producers[which]())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Speculative Disambiguation (ISCA 1994) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_machine_flags(p):
+        p.add_argument("--fus", type=int, default=5,
+                       help="functional units (0 = infinite machine)")
+        p.add_argument("--memory", type=int, choices=(2, 6), default=6,
+                       help="memory latency in cycles")
+        p.add_argument("--graft", action="store_true",
+                       help="enlarge decision trees by tail duplication")
+
+    p_run = sub.add_parser("run", help="execute a tinyc program")
+    p_run.add_argument("program", help="tinyc source file, or - for stdin")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_compile = sub.add_parser("compile", help="dump decision-tree IR")
+    p_compile.add_argument("program")
+    p_compile.add_argument("--graft", action="store_true")
+    p_compile.set_defaults(func=_cmd_compile)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="cycles under all four disambiguators")
+    p_analyze.add_argument("program")
+    add_machine_flags(p_analyze)
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_bench = sub.add_parser("bench", help="analyse a built-in benchmark")
+    p_bench.add_argument("name")
+    add_machine_flags(p_bench)
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_sched = sub.add_parser(
+        "schedule", help="dump the VLIW schedule of a program's trees")
+    p_sched.add_argument("program")
+    p_sched.add_argument("--tree", default=None,
+                         help="only this tree (substring match)")
+    p_sched.add_argument("--spec", action="store_true",
+                         help="schedule the SPEC-transformed program")
+    add_machine_flags(p_sched)
+    p_sched.set_defaults(func=_cmd_schedule)
+
+    p_list = sub.add_parser("list", help="list built-in benchmarks")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_report = sub.add_parser("report", help="regenerate a table/figure")
+    p_report.add_argument("which", choices=[
+        "table6_1", "table6_2", "table6_3",
+        "figure6_2", "figure6_3", "figure6_4",
+        "ablation_knobs", "ablation_alias_prob", "ablation_grafting",
+        "ablation_combined", "all"])
+    p_report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse *argv* (default: sys.argv) and run the chosen subcommand."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Memory disambiguation: static tests, SpD, and the four pipelines."""
+
+from .gcd_banerjee import banerjee_test, gcd_test, subscripts_may_alias
+from .oracles import (make_perfect_oracle, make_static_oracle, naive_oracle,
+                      static_answer)
+from .pipeline import DisambiguationResult, Disambiguator, disambiguate
+from .spd_heuristic import (SpDConfig, SpDTreeResult,
+                            speculative_disambiguation)
+from .spd_transform import (SpDApplication, SpDNotApplicable, apply_spd,
+                            apply_spd_combined)
+
+__all__ = [
+    "DisambiguationResult",
+    "Disambiguator",
+    "SpDApplication",
+    "SpDConfig",
+    "SpDNotApplicable",
+    "SpDTreeResult",
+    "apply_spd",
+    "apply_spd_combined",
+    "banerjee_test",
+    "disambiguate",
+    "gcd_test",
+    "make_perfect_oracle",
+    "make_static_oracle",
+    "naive_oracle",
+    "speculative_disambiguation",
+    "static_answer",
+    "subscripts_may_alias",
+]

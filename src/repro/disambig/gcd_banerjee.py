@@ -1,0 +1,88 @@
+"""The GCD test and the Banerjee inequalities.
+
+These are the two classical dependence tests the paper's postpass static
+disambiguator implements (Section 6.1): "Static disambiguation is
+implemented with the GCD test and the Banerjee inequalities.  Although
+these are not the most sophisticated tests available, Goff et al. have
+shown that even simple tests ... are sufficient for disproving ambiguous
+aliases in most programs."
+
+Both tests here operate on the *difference* of two affine subscripts.
+Because arcs join references inside one decision-tree execution, every
+scalar symbol has the same value at both references (the compiler checks
+separately that nothing redefines a symbol in between), so dependence
+exists iff
+
+    diff.const + sum(diff.coeffs[s] * s) == 0
+
+has an integer solution with each symbol inside its known bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional
+
+from ..ir.affine import AffineExpr, VarBounds
+
+__all__ = ["gcd_test", "banerjee_test", "subscripts_may_alias"]
+
+
+def gcd_test(diff: AffineExpr) -> bool:
+    """True if ``diff == 0`` may have an integer solution.
+
+    The GCD test: a linear diophantine equation ``sum(c_k x_k) = -c0``
+    is solvable iff gcd of the coefficients divides the constant.
+    A constant difference is solvable iff it is zero.
+    """
+    if diff.is_constant:
+        return diff.const == 0
+    divisor = 0
+    for coeff in diff.coeffs.values():
+        divisor = math.gcd(divisor, abs(coeff))
+    return diff.const % divisor == 0
+
+
+def banerjee_test(diff: AffineExpr, bounds: Mapping[str, VarBounds]) -> bool:
+    """True if ``diff == 0`` may hold within the symbol bounds.
+
+    The Banerjee inequalities for the equal (loop-independent) direction:
+    dependence requires  L <= -c0 <= H  where L and H are the extreme
+    values of ``sum(c_k x_k)`` over the bounded region.  Symbols without
+    known bounds contribute unbounded extremes on the relevant side.
+    """
+    if diff.is_constant:
+        return diff.const == 0
+    low: float = 0.0
+    high: float = 0.0
+    for sym, coeff in diff.coeffs.items():
+        lo, hi = bounds.get(sym, (None, None))
+        # contribution of coeff * sym to the minimum
+        if coeff > 0:
+            low += coeff * lo if lo is not None else -math.inf
+            high += coeff * hi if hi is not None else math.inf
+        else:
+            low += coeff * hi if hi is not None else -math.inf
+            high += coeff * lo if lo is not None else math.inf
+    target = -diff.const
+    return low <= target <= high
+
+
+def subscripts_may_alias(
+    sub_a: AffineExpr,
+    sub_b: AffineExpr,
+    bounds: Mapping[str, VarBounds],
+) -> Optional[bool]:
+    """Combined GCD/Banerjee verdict for two same-base subscripts.
+
+    Returns False (never alias), True (always alias — the difference is
+    identically zero), or None (may alias; unknown).
+    """
+    diff = sub_b.sub(sub_a)
+    if diff.is_constant:
+        return diff.const == 0
+    if not gcd_test(diff):
+        return False
+    if not banerjee_test(diff, bounds):
+        return False
+    return None

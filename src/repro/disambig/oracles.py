@@ -1,0 +1,110 @@
+"""Alias oracles: the pluggable core of each disambiguator (Table 6-4).
+
+============  ==========================================================
+NAIVE         no analysis; every store-involved pair may alias
+STATIC        region analysis + GCD test + Banerjee inequalities
+PERFECT       profile-driven: remove every arc that never manifested
+              dynamically (the paper's optimistic perfect-static bound)
+============  ==========================================================
+
+The SPEC disambiguator is STATIC followed by the speculative
+disambiguation transform (see :mod:`repro.disambig.spd_heuristic`), so
+it has no oracle of its own.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..ir.depgraph import AliasAnswer, AliasOracle, naive_oracle
+from ..ir.memory import MemAccess
+from ..ir.operations import Operation
+from ..ir.tree import DecisionTree
+from ..sim.profile import ProfileData
+from .gcd_banerjee import subscripts_may_alias
+
+__all__ = ["static_answer", "make_static_oracle", "make_perfect_oracle",
+           "naive_oracle"]
+
+
+def static_answer(access_a: Optional[MemAccess],
+                  access_b: Optional[MemAccess]) -> AliasAnswer:
+    """The static disambiguator's verdict for two access descriptions,
+    assuming all shared symbols hold equal values at both references."""
+    if access_a is None or access_b is None:
+        return AliasAnswer.MAYBE
+    region_a, region_b = access_a.region, access_b.region
+    if region_a is None or region_b is None:
+        return AliasAnswer.MAYBE
+    if region_a.definitely_disjoint(region_b):
+        return AliasAnswer.NO
+    if not region_a.definitely_same_base(region_b):
+        return AliasAnswer.MAYBE
+    if access_a.subscript is None or access_b.subscript is None:
+        return AliasAnswer.MAYBE
+    bounds = dict(access_b.bounds)
+    bounds.update(access_a.bounds)
+    verdict = subscripts_may_alias(access_a.subscript, access_b.subscript, bounds)
+    if verdict is False:
+        return AliasAnswer.NO
+    if verdict is True:
+        return AliasAnswer.YES
+    return AliasAnswer.MAYBE
+
+
+def _symbols_of(access: Optional[MemAccess]) -> Set[str]:
+    if access is None or access.subscript is None:
+        return set()
+    return set(access.subscript.coeffs)
+
+
+def make_static_oracle(tree: DecisionTree) -> AliasOracle:
+    """STATIC oracle for one tree.
+
+    Besides the pure subscript test, the oracle must verify that no
+    operation *between* the two references redefines a symbol appearing
+    in either subscript — the affine expressions describe register
+    values at the point of the access, and an intervening induction
+    update would invalidate the equal-values assumption.
+    """
+
+    def oracle(op_a: Operation, op_b: Operation) -> AliasAnswer:
+        access_a, access_b = op_a.access, op_b.access
+        if (access_a is not None and access_b is not None
+                and access_a.region is not None and access_b.region is not None
+                and access_a.region.definitely_disjoint(access_b.region)):
+            return AliasAnswer.NO  # region facts involve no symbol values
+        answer = static_answer(access_a, access_b)
+        if answer is AliasAnswer.MAYBE:
+            return answer
+        symbols = _symbols_of(access_a) | _symbols_of(access_b)
+        if symbols:
+            homes = {f"v.{sym}" for sym in symbols} | {f"p.{sym}" for sym in symbols}
+            start = tree.op_index(op_a.op_id)
+            end = tree.op_index(op_b.op_id)
+            for op in tree.ops[start + 1:end]:
+                if op.dest is not None and op.dest.name in homes:
+                    return AliasAnswer.MAYBE
+        return answer
+
+    return oracle
+
+
+def make_perfect_oracle(function_name: str, tree: DecisionTree,
+                        profile: ProfileData) -> AliasOracle:
+    """PERFECT oracle: the paper's optimistic perfect static bound.
+
+    The profiling run records, per memory-reference pair, how often the
+    two referred to a common location.  Pairs with count zero carry
+    *superfluous* arcs and are answered NO; everything else stays an
+    ambiguous arc.  As the paper notes, this is data-set dependent and
+    at least as good as any true perfect static disambiguator.
+    """
+
+    def oracle(op_a: Operation, op_b: Operation) -> AliasAnswer:
+        stats = profile.pair((function_name, tree.name, op_a.op_id, op_b.op_id))
+        if stats.aliased == 0:
+            return AliasAnswer.NO
+        return AliasAnswer.MAYBE
+
+    return oracle

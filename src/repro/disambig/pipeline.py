@@ -1,0 +1,124 @@
+"""The four disambiguators of the paper's evaluation (Table 6-4).
+
+=========  =============================================================
+NAIVE      no disambiguation: every store-involved pair keeps an
+           ambiguous arc
+STATIC     region analysis + GCD test + Banerjee inequalities
+SPEC       STATIC followed by speculative disambiguation (the paper's
+           contribution)
+PERFECT    profile-driven removal of every superfluous arc — the
+           optimistic upper bound on static disambiguation
+=========  =============================================================
+
+A pipeline takes the compiled program plus the profile collected by one
+NAIVE-semantics run, and produces a :class:`DisambiguationResult`: the
+(possibly transformed) program, one dependence graph per tree, and SpD
+statistics.  Everything downstream (timing, experiments) consumes that.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ir.depgraph import ArcKind, DependenceGraph, build_dependence_graph, naive_oracle
+from ..ir.program import Program
+from ..ir.validate import validate_program
+from ..machine.description import INFINITE, LifeMachine
+from ..sim.profile import PairStats, ProfileData, TreeKey
+from .oracles import make_perfect_oracle, make_static_oracle
+from .spd_heuristic import SpDConfig, SpDTreeResult, speculative_disambiguation
+
+__all__ = ["Disambiguator", "DisambiguationResult", "disambiguate"]
+
+
+class Disambiguator(enum.Enum):
+    """The four disambiguators of the paper's Table 6-4."""
+    NAIVE = "naive"
+    STATIC = "static"
+    SPEC = "spec"
+    PERFECT = "perfect"
+
+
+@dataclass
+class DisambiguationResult:
+    """One disambiguated view of a program."""
+
+    kind: Disambiguator
+    program: Program
+    graphs: Dict[TreeKey, DependenceGraph] = field(default_factory=dict)
+    spd_results: Dict[TreeKey, SpDTreeResult] = field(default_factory=dict)
+
+    def code_size(self) -> int:
+        """Program size in operations (paper's Figure 6-4 metric)."""
+        return self.program.size()
+
+    def spd_counts(self) -> Dict[ArcKind, int]:
+        """Total SpD applications by dependence type (Table 6-3 row)."""
+        totals = {ArcKind.MEM_RAW: 0, ArcKind.MEM_WAR: 0, ArcKind.MEM_WAW: 0}
+        for result in self.spd_results.values():
+            for kind, count in result.count_by_kind().items():
+                totals[kind] += count
+        return totals
+
+    def ambiguous_arc_count(self) -> int:
+        return sum(len(g.ambiguous_arcs()) for g in self.graphs.values())
+
+
+def _oracle_for(kind: Disambiguator, function_name: str, tree,
+                profile: Optional[ProfileData]):
+    if kind is Disambiguator.NAIVE:
+        return naive_oracle
+    if kind is Disambiguator.STATIC or kind is Disambiguator.SPEC:
+        return make_static_oracle(tree)
+    if kind is Disambiguator.PERFECT:
+        if profile is None:
+            raise ValueError("PERFECT requires a profile")
+        return make_perfect_oracle(function_name, tree, profile)
+    raise ValueError(f"unknown disambiguator {kind}")
+
+
+def disambiguate(
+    program: Program,
+    kind: Disambiguator,
+    profile: Optional[ProfileData] = None,
+    machine: LifeMachine = INFINITE,
+    spd_config: SpDConfig = SpDConfig(),
+) -> DisambiguationResult:
+    """Produce the *kind* view of *program*.
+
+    The input program is never mutated: SPEC transforms a copy.  The
+    ``machine`` parameter matters only to SPEC, whose Gain() estimates
+    depend on the latency table (this is why Table 6-3 reports different
+    application counts for 2- and 6-cycle memory).
+    """
+    working = program.copy() if kind is Disambiguator.SPEC else program
+    result = DisambiguationResult(kind=kind, program=working)
+
+    if kind is Disambiguator.SPEC:
+        gain_machine = machine.with_fus(None)  # Gain() uses the infinite machine
+        for function_name, tree in working.all_trees():
+            key = (function_name, tree.name)
+            oracle = make_static_oracle(tree)
+            path_probs = None
+            stats_fn = None
+            if profile is not None:
+                if profile.executed(key) == 0:
+                    continue  # never-executed trees: no profit, skip
+                path_probs = profile.path_probabilities(key, len(tree.exits))
+
+                def stats_fn(pair, _key=key):
+                    return profile.pair((_key[0], _key[1], pair[0], pair[1]))
+
+            spd_result = speculative_disambiguation(
+                tree, oracle, gain_machine, path_probs, spd_config, stats_fn)
+            if spd_result.applications:
+                result.spd_results[key] = spd_result
+        validate_program(working)
+
+    for function_name, tree in working.all_trees():
+        oracle = _oracle_for(kind, function_name, tree, profile)
+        result.graphs[(function_name, tree.name)] = \
+            build_dependence_graph(tree, oracle)
+    return result

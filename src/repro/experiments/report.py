@@ -1,0 +1,33 @@
+"""Plain-text rendering of experiment tables (the paper's rows/series)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_percent"]
+
+
+def format_percent(value: float) -> str:
+    """A signed percentage, e.g. ``+12.3%`` (the figures' bar labels)."""
+    return f"{value * 100:+.1f}%"
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width table with a title rule, ready for the terminal."""
+    materialised: List[List[str]] = [[str(cell) for cell in row]
+                                     for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                         for i, cell in enumerate(cells))
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = [title, rule, fmt_row(list(headers)), rule]
+    lines += [fmt_row(row) for row in materialised]
+    lines.append(rule)
+    return "\n".join(lines)

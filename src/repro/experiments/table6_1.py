@@ -1,0 +1,63 @@
+"""Table 6-1: operation latencies of the experimental machine models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..machine.latencies import TABLE_6_1_MEM2, TABLE_6_1_MEM6, LatencyTable
+from .report import format_table
+
+__all__ = ["Table61", "run"]
+
+#: (paper row label, LatencyTable attribute)
+_ROWS: List[Tuple[str, str]] = [
+    ("Integer multiplies", "int_mul"),
+    ("Integer and FP divides", "divide"),
+    ("FP compares", "fp_compare"),
+    ("Other ALU operations", "alu"),
+    ("Other FPU operations", "fpu"),
+    ("Memory loads and stores", "memory"),
+    ("Branches", "branch"),
+]
+
+#: The paper's published values for shape checking.
+PAPER_VALUES = {
+    "int_mul": 3, "divide": 7, "fp_compare": 1, "alu": 1,
+    "fpu": 3, "memory": (2, 6), "branch": 2,
+}
+
+
+@dataclass
+class Table61:
+    mem2: LatencyTable
+    mem6: LatencyTable
+
+    def rows(self) -> List[Tuple[str, str]]:
+        out = []
+        for label, attr in _ROWS:
+            low = getattr(self.mem2, attr)
+            high = getattr(self.mem6, attr)
+            cell = str(low) if low == high else f"{low} or {high}"
+            out.append((label, cell))
+        return out
+
+    def matches_paper(self) -> bool:
+        for _label, attr in _ROWS:
+            expected = PAPER_VALUES[attr]
+            got = (getattr(self.mem2, attr), getattr(self.mem6, attr))
+            if isinstance(expected, tuple):
+                if got != expected:
+                    return False
+            elif got != (expected, expected):
+                return False
+        return True
+
+    def render(self) -> str:
+        return format_table("Table 6-1: Operation latencies",
+                            ["Operation", "Latency (cyc)"], self.rows())
+
+
+def run() -> Table61:
+    """Regenerate Table 6-1 from the machine model."""
+    return Table61(TABLE_6_1_MEM2, TABLE_6_1_MEM6)

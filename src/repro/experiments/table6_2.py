@@ -1,0 +1,30 @@
+"""Table 6-2: benchmark descriptions (and our tinyc port sizes)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..bench.suite import REPORTED, SUITE, Benchmark
+from .report import format_table
+
+__all__ = ["Table62", "run"]
+
+
+@dataclass
+class Table62:
+    benchmarks: List[Benchmark]
+
+    def rows(self) -> List[Tuple[str, str, int, str]]:
+        return [(b.name, b.suite, b.source_lines, b.description)
+                for b in self.benchmarks]
+
+    def render(self) -> str:
+        return format_table(
+            "Table 6-2: Benchmark descriptions (Lines = tinyc port)",
+            ["Benchmark", "Suite", "Lines", "Description"], self.rows())
+
+
+def run(names: List[str] = REPORTED) -> Table62:
+    """Regenerate Table 6-2 from the benchmark registry."""
+    return Table62([SUITE[name] for name in names])

@@ -1,0 +1,12 @@
+"""tinyc frontend: lexer, parser, semantic analysis, lowering, treegen."""
+
+from .driver import compile_source
+from .errors import CompileError
+from .grafting import GraftConfig, GraftStats, graft_program
+from .lexer import Token, tokenize
+from .parser import parse
+from .semantic import ProgramEnv, analyze
+
+__all__ = ["CompileError", "GraftConfig", "GraftStats", "ProgramEnv",
+           "Token", "analyze", "compile_source", "graft_program", "parse",
+           "tokenize"]

@@ -1,0 +1,184 @@
+"""Abstract syntax of tinyc."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+__all__ = [
+    "Expr", "IntLit", "FloatLit", "VarRef", "Index", "Unary", "Binary",
+    "Call", "Stmt", "DeclStmt", "ArrayDeclStmt", "Assign", "IndexAssign",
+    "If", "While", "For", "Return", "Print", "ExprStmt", "Block",
+    "Param", "FuncDecl", "GlobalDecl", "TranslationUnit",
+]
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """``name[index0]`` or ``name[index0][index1]``."""
+    name: str = ""
+    indices: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""            #: '-' | '!'
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""            #: + - * / % == != < <= > >= && ||
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """``int x;`` or ``float y = expr;``"""
+    type: str = "int"
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class ArrayDeclStmt(Stmt):
+    """``float buf[64];`` — a function-local, statically allocated array."""
+    type: str = "float"
+    name: str = ""
+    dims: Tuple[int, ...] = ()
+
+
+@dataclass
+class Assign(Stmt):
+    name: str = ""
+    value: Optional[Expr] = None
+
+
+@dataclass
+class IndexAssign(Stmt):
+    """``a[i] = expr;`` or ``g[i][j] = expr;``"""
+    name: str = ""
+    indices: List[Expr] = field(default_factory=list)
+    value: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    """C-style for with a simple-assignment init/step."""
+    init: Optional[Stmt] = None     # Assign or DeclStmt
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None     # Assign
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Print(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class Block(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# declarations
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Param:
+    """Function parameter: a scalar, or an array (passed by reference).
+
+    For arrays, ``dims`` holds the declared trailing dimensions:
+    ``int a[]`` -> (), ``float g[][32]`` -> (32,).
+    """
+    type: str
+    name: str
+    is_array: bool = False
+    dims: Tuple[int, ...] = ()
+
+
+@dataclass
+class FuncDecl:
+    name: str
+    return_type: Optional[str]      #: None for void
+    params: List[Param] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    type: str
+    name: str
+    dims: Tuple[int, ...] = ()      #: () for scalars (globals must be arrays)
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    globals_: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDecl] = field(default_factory=list)

@@ -1,0 +1,72 @@
+"""Control-flow graph produced by lowering, consumed by tree generation.
+
+Blocks hold straight-line :class:`~repro.ir.operations.Operation` lists
+(guards unassigned — if-conversion adds them) and end in one terminator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.operations import Operation
+from ..ir.program import ArrayDecl
+from ..ir.values import Operand, Register
+
+__all__ = ["TJump", "TBranch", "TCall", "TReturn", "Terminator",
+           "CFGBlock", "FunctionCFG"]
+
+
+@dataclass(frozen=True)
+class TJump:
+    target: str
+
+
+@dataclass(frozen=True)
+class TBranch:
+    cond: Register            #: BOOL-typed register
+    true_target: str
+    false_target: str
+
+
+@dataclass(frozen=True)
+class TCall:
+    callee: str
+    args: Tuple[Operand, ...]
+    dest: Optional[Register]  #: variable register receiving the result
+    cont: str                 #: continuation block label
+
+
+@dataclass(frozen=True)
+class TReturn:
+    value: Optional[Operand] = None
+
+
+Terminator = object  # union of the four dataclasses above
+
+
+@dataclass
+class CFGBlock:
+    label: str
+    ops: List[Operation] = field(default_factory=list)
+    term: Optional[Terminator] = None
+
+
+@dataclass
+class FunctionCFG:
+    name: str
+    params: List[Register]
+    return_type: Optional[str]
+    blocks: Dict[str, CFGBlock] = field(default_factory=dict)
+    entry: str = ""
+    local_arrays: List[ArrayDecl] = field(default_factory=list)
+
+    def successors(self, label: str) -> List[str]:
+        term = self.blocks[label].term
+        if isinstance(term, TJump):
+            return [term.target]
+        if isinstance(term, TBranch):
+            return [term.true_target, term.false_target]
+        if isinstance(term, TCall):
+            return [term.cont]
+        return []

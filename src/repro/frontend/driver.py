@@ -1,0 +1,53 @@
+"""Front-end driver: tinyc source text -> validated decision-tree program."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir.program import ArrayDecl, Program
+from ..ir.validate import validate_program
+from .errors import CompileError
+from .lower import lower_function
+from .parser import parse
+from .semantic import analyze
+from .treegen import generate_trees
+
+__all__ = ["compile_source"]
+
+
+def compile_source(source: str, guard_words: int = 0) -> Program:
+    """Compile tinyc source into a :class:`~repro.ir.program.Program`.
+
+    ``guard_words`` inserts unused padding between arrays so that
+    out-of-bounds accesses in benchmark code fault loudly instead of
+    silently clobbering a neighbour (useful while porting benchmarks).
+    """
+    unit = parse(source)
+    env = analyze(unit)
+
+    program = Program()
+    layout: Dict[str, int] = {}
+    address = 0
+    for decl in unit.globals_:
+        array = ArrayDecl(decl.name, decl.type, decl.dims)
+        program.globals_.append(array)
+        layout[decl.name] = address
+        address += array.words + guard_words
+    for func in unit.functions:
+        for name, (elem, dims) in env.local_arrays[func.name].items():
+            array = ArrayDecl(name, elem, dims)
+            layout[f"{func.name}.{name}"] = address
+            address += array.words + guard_words
+    program.layout = layout
+    program.memory_words = address
+
+    for func in unit.functions:
+        cfg = lower_function(func, env, layout)
+        program.add_function(generate_trees(cfg))
+
+    entry = program.functions.get("main")
+    if entry is None or entry.params:
+        raise CompileError("main must exist and take no parameters")
+    program.entry_function = "main"
+    validate_program(program)
+    return program

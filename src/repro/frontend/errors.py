@@ -1,0 +1,16 @@
+"""Compilation errors with source locations."""
+
+from __future__ import annotations
+
+__all__ = ["CompileError"]
+
+
+class CompileError(Exception):
+    """Raised for lexical, syntactic, or semantic errors in tinyc code."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f"{line}:{column}: " if line else ""
+        super().__init__(f"{location}{message}")
+        self.message = message
+        self.line = line
+        self.column = column

@@ -1,0 +1,129 @@
+"""Lexer for the tinyc benchmark language.
+
+tinyc is the C subset in which the paper's benchmarks are re-implemented
+(see DESIGN.md).  The token set covers declarations (``int``, ``float``,
+``void``), control flow (``if``/``else``/``while``/``for``/``return``),
+the ``print`` builtin, arithmetic/logical/comparison operators, and
+array indexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Union
+
+from .errors import CompileError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset({
+    "int", "float", "void", "if", "else", "while", "for",
+    "return", "print",
+})
+
+_SYMBOLS = [
+    "&&", "||", "==", "!=", "<=", ">=",
+    "(", ")", "{", "}", "[", "]", ";", ",",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str                      #: 'ident' | 'int' | 'float' | 'kw' | symbol text | 'eof'
+    text: str
+    value: Union[int, float, None] = None
+    line: int = 0
+    column: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind!r}, {self.text!r})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Turn source text into a token list ending with an 'eof' token."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    i, n = 0, len(source)
+
+    def error(message: str) -> CompileError:
+        return CompileError(message, line, column)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            skipped = source[i:end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            i = end + 2
+            continue
+        start_line, start_column = line, column
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            while j < n and (source[j].isdigit() or source[j] == "."):
+                if source[j] == ".":
+                    if is_float:
+                        raise error("malformed number")
+                    is_float = True
+                j += 1
+            if j < n and source[j] in "eE":
+                is_float = True
+                j += 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                if j >= n or not source[j].isdigit():
+                    raise error("malformed exponent")
+                while j < n and source[j].isdigit():
+                    j += 1
+            text = source[i:j]
+            if is_float:
+                tokens.append(Token("float", text, float(text),
+                                    start_line, start_column))
+            else:
+                tokens.append(Token("int", text, int(text),
+                                    start_line, start_column))
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, None, start_line, start_column))
+            column += j - i
+            i = j
+            continue
+        for symbol in _SYMBOLS:
+            if source.startswith(symbol, i):
+                tokens.append(Token(symbol, symbol, None,
+                                    start_line, start_column))
+                i += len(symbol)
+                column += len(symbol)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token("eof", "", None, line, column))
+    return tokens

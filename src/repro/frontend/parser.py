@@ -1,0 +1,375 @@
+"""Recursive-descent parser for tinyc.
+
+Grammar (informal)::
+
+    unit      := (global | func)*
+    global    := type IDENT '[' INT ']' ('[' INT ']')? ';'
+    func      := ('void' | type) IDENT '(' params? ')' block
+    param     := type IDENT ('[' ']' ('[' INT ']')?)?
+    stmt      := decl | assign | if | while | for | return | print
+               | expr ';' | block
+    decl      := type IDENT ('[' INT ']' ('[' INT ']')? | '=' expr)? ';'
+    assign    := IDENT ('[' expr ']' ('[' expr ']')?)? '=' expr ';'
+    expr      := or-expr with C precedence:
+                 || , && , (== !=) , (< <= > >=) , (+ -) , (* / %) ,
+                 unary (- !), primary
+    primary   := INT | FLOAT | IDENT | IDENT '(' args ')' |
+                 IDENT '[' expr ']' ('[' expr ']')? | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import ast_nodes as ast
+from .errors import CompileError
+from .lexer import Token, tokenize
+
+__all__ = ["parse"]
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            token = self.peek()
+            wanted = text or kind
+            raise CompileError(f"expected {wanted!r}, found {token.text!r}",
+                               token.line, token.column)
+        return self.advance()
+
+    # -- declarations --------------------------------------------------------
+
+    def parse_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while not self.check("eof"):
+            token = self.peek()
+            if token.kind != "kw" or token.text not in ("int", "float", "void"):
+                raise CompileError("expected a declaration",
+                                   token.line, token.column)
+            # distinguish function from global: IDENT then '('
+            if self.peek(2).kind == "(":
+                unit.functions.append(self.parse_function())
+            else:
+                unit.globals_.append(self.parse_global())
+        return unit
+
+    def parse_global(self) -> ast.GlobalDecl:
+        type_token = self.expect("kw")
+        if type_token.text == "void":
+            raise CompileError("globals cannot be void",
+                               type_token.line, type_token.column)
+        name = self.expect("ident")
+        dims = self.parse_const_dims(required=True)
+        self.expect(";")
+        return ast.GlobalDecl(type_token.text, name.text, dims, type_token.line)
+
+    def parse_const_dims(self, required: bool) -> Tuple[int, ...]:
+        dims: List[int] = []
+        while self.accept("["):
+            size = self.expect("int")
+            dims.append(size.value)
+            self.expect("]")
+        if required and not dims:
+            token = self.peek()
+            raise CompileError("globals must be arrays (scalars live in "
+                               "registers)", token.line, token.column)
+        if len(dims) > 2:
+            token = self.peek()
+            raise CompileError("at most 2 array dimensions supported",
+                               token.line, token.column)
+        return tuple(dims)
+
+    def parse_function(self) -> ast.FuncDecl:
+        type_token = self.expect("kw")
+        return_type = None if type_token.text == "void" else type_token.text
+        name = self.expect("ident")
+        self.expect("(")
+        params: List[ast.Param] = []
+        if not self.check(")"):
+            while True:
+                params.append(self.parse_param())
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        body = self.parse_block()
+        return ast.FuncDecl(name.text, return_type, params, body,
+                            type_token.line)
+
+    def parse_param(self) -> ast.Param:
+        type_token = self.expect("kw")
+        if type_token.text == "void":
+            raise CompileError("void parameter", type_token.line,
+                               type_token.column)
+        name = self.expect("ident")
+        if self.accept("["):
+            self.expect("]")
+            dims: List[int] = []
+            while self.accept("["):
+                size = self.expect("int")
+                dims.append(size.value)
+                self.expect("]")
+            if len(dims) > 1:
+                raise CompileError("at most 2 array dimensions supported",
+                                   type_token.line, type_token.column)
+            return ast.Param(type_token.text, name.text, True, tuple(dims))
+        return ast.Param(type_token.text, name.text)
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_block(self) -> List[ast.Stmt]:
+        self.expect("{")
+        body: List[ast.Stmt] = []
+        while not self.check("}"):
+            body.append(self.parse_statement())
+        self.expect("}")
+        return body
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self.peek()
+        if token.kind == "{":
+            return ast.Block(token.line, self.parse_block())
+        if token.kind == "kw":
+            if token.text in ("int", "float"):
+                return self.parse_decl()
+            if token.text == "if":
+                return self.parse_if()
+            if token.text == "while":
+                return self.parse_while()
+            if token.text == "for":
+                return self.parse_for()
+            if token.text == "return":
+                self.advance()
+                value = None if self.check(";") else self.parse_expr()
+                self.expect(";")
+                return ast.Return(token.line, value)
+            if token.text == "print":
+                self.advance()
+                self.expect("(")
+                value = self.parse_expr()
+                self.expect(")")
+                self.expect(";")
+                return ast.Print(token.line, value)
+        if token.kind == "ident":
+            return self.parse_assign_or_expr()
+        raise CompileError(f"unexpected token {token.text!r}",
+                           token.line, token.column)
+
+    def parse_decl(self) -> ast.Stmt:
+        type_token = self.expect("kw")
+        name = self.expect("ident")
+        if self.check("["):
+            dims = self.parse_const_dims(required=True)
+            self.expect(";")
+            return ast.ArrayDeclStmt(type_token.line, type_token.text,
+                                     name.text, dims)
+        init = None
+        if self.accept("="):
+            init = self.parse_expr()
+        self.expect(";")
+        return ast.DeclStmt(type_token.line, type_token.text, name.text, init)
+
+    def parse_if(self) -> ast.If:
+        token = self.expect("kw", "if")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then_body = self.statement_as_body()
+        else_body: List[ast.Stmt] = []
+        if self.accept("kw", "else"):
+            else_body = self.statement_as_body()
+        return ast.If(token.line, cond, then_body, else_body)
+
+    def parse_while(self) -> ast.While:
+        token = self.expect("kw", "while")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        return ast.While(token.line, cond, self.statement_as_body())
+
+    def parse_for(self) -> ast.For:
+        token = self.expect("kw", "for")
+        self.expect("(")
+        init: Optional[ast.Stmt] = None
+        if not self.check(";"):
+            if self.check("kw"):
+                init = self.parse_decl()
+            else:
+                init = self.parse_simple_assign()
+                self.expect(";")
+        else:
+            self.expect(";")
+        cond = None if self.check(";") else self.parse_expr()
+        self.expect(";")
+        step = None if self.check(")") else self.parse_simple_assign()
+        self.expect(")")
+        return ast.For(token.line, init, cond, step,
+                       self.statement_as_body())
+
+    def statement_as_body(self) -> List[ast.Stmt]:
+        statement = self.parse_statement()
+        if isinstance(statement, ast.Block):
+            return statement.body
+        return [statement]
+
+    def parse_simple_assign(self) -> ast.Stmt:
+        name = self.expect("ident")
+        indices: List[ast.Expr] = []
+        while self.accept("["):
+            indices.append(self.parse_expr())
+            self.expect("]")
+        self.expect("=")
+        value = self.parse_expr()
+        if indices:
+            return ast.IndexAssign(name.line, name.text, indices, value)
+        return ast.Assign(name.line, name.text, value)
+
+    def parse_assign_or_expr(self) -> ast.Stmt:
+        # lookahead: IDENT ('[' ... ']')* '=' is an assignment
+        save = self.pos
+        name = self.expect("ident")
+        indices: List[ast.Expr] = []
+        is_assign = False
+        try:
+            while self.accept("["):
+                indices.append(self.parse_expr())
+                self.expect("]")
+            is_assign = self.check("=")
+        except CompileError:
+            is_assign = False
+        if is_assign:
+            self.expect("=")
+            value = self.parse_expr()
+            self.expect(";")
+            if indices:
+                if len(indices) > 2:
+                    raise CompileError("at most 2 array dimensions supported",
+                                       name.line, name.column)
+                return ast.IndexAssign(name.line, name.text, indices, value)
+            return ast.Assign(name.line, name.text, value)
+        self.pos = save
+        expr = self.parse_expr()
+        self.expect(";")
+        return ast.ExprStmt(name.line, expr)
+
+    # -- expressions -------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        expr = self.parse_and()
+        while self.check("||"):
+            token = self.advance()
+            expr = ast.Binary(token.line, "||", expr, self.parse_and())
+        return expr
+
+    def parse_and(self) -> ast.Expr:
+        expr = self.parse_equality()
+        while self.check("&&"):
+            token = self.advance()
+            expr = ast.Binary(token.line, "&&", expr, self.parse_equality())
+        return expr
+
+    def parse_equality(self) -> ast.Expr:
+        expr = self.parse_relational()
+        while self.check("==") or self.check("!="):
+            token = self.advance()
+            expr = ast.Binary(token.line, token.text, expr,
+                              self.parse_relational())
+        return expr
+
+    def parse_relational(self) -> ast.Expr:
+        expr = self.parse_additive()
+        while (self.check("<") or self.check("<=")
+               or self.check(">") or self.check(">=")):
+            token = self.advance()
+            expr = ast.Binary(token.line, token.text, expr,
+                              self.parse_additive())
+        return expr
+
+    def parse_additive(self) -> ast.Expr:
+        expr = self.parse_multiplicative()
+        while self.check("+") or self.check("-"):
+            token = self.advance()
+            expr = ast.Binary(token.line, token.text, expr,
+                              self.parse_multiplicative())
+        return expr
+
+    def parse_multiplicative(self) -> ast.Expr:
+        expr = self.parse_unary()
+        while self.check("*") or self.check("/") or self.check("%"):
+            token = self.advance()
+            expr = ast.Binary(token.line, token.text, expr, self.parse_unary())
+        return expr
+
+    def parse_unary(self) -> ast.Expr:
+        if self.check("-") or self.check("!"):
+            token = self.advance()
+            return ast.Unary(token.line, token.text, self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "int":
+            self.advance()
+            return ast.IntLit(token.line, token.value)
+        if token.kind == "float":
+            self.advance()
+            return ast.FloatLit(token.line, token.value)
+        if token.kind == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if token.kind == "ident":
+            self.advance()
+            if self.accept("("):
+                args: List[ast.Expr] = []
+                if not self.check(")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                return ast.Call(token.line, token.text, args)
+            indices: List[ast.Expr] = []
+            while self.accept("["):
+                indices.append(self.parse_expr())
+                self.expect("]")
+            if indices:
+                if len(indices) > 2:
+                    raise CompileError("at most 2 array dimensions supported",
+                                       token.line, token.column)
+                return ast.Index(token.line, token.text, indices)
+            return ast.VarRef(token.line, token.text)
+        raise CompileError(f"unexpected token {token.text!r} in expression",
+                           token.line, token.column)
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse tinyc source text into a translation unit."""
+    return _Parser(tokenize(source)).parse_unit()

@@ -1,0 +1,146 @@
+"""Semantic analysis: signatures, array inventories, recursion checks.
+
+Performed before lowering so that the memory layout (global and local
+array base addresses) is known when address arithmetic is emitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from . import ast_nodes as ast
+from .errors import CompileError
+
+__all__ = ["Signature", "ProgramEnv", "analyze", "INTRINSICS"]
+
+#: float -> float intrinsics lowered inline (FPU latency class).
+INTRINSICS = frozenset({"sqrt", "sin", "cos", "fabs"})
+
+
+@dataclass(frozen=True)
+class Signature:
+    name: str
+    return_type: Optional[str]
+    params: Tuple[ast.Param, ...]
+
+
+@dataclass
+class ProgramEnv:
+    """Everything lowering needs to know about the whole program."""
+
+    signatures: Dict[str, Signature] = field(default_factory=dict)
+    global_arrays: Dict[str, ast.GlobalDecl] = field(default_factory=dict)
+    #: function name -> local array declarations (name -> (type, dims))
+    local_arrays: Dict[str, Dict[str, Tuple[str, Tuple[int, ...]]]] = \
+        field(default_factory=dict)
+    recursive: Set[str] = field(default_factory=set)
+
+
+def _collect_local_arrays(stmts: List[ast.Stmt],
+                          into: Dict[str, Tuple[str, Tuple[int, ...]]],
+                          func: str) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, ast.ArrayDeclStmt):
+            if stmt.name in into:
+                raise CompileError(
+                    f"duplicate local array {stmt.name!r} in {func}", stmt.line)
+            into[stmt.name] = (stmt.type, stmt.dims)
+        elif isinstance(stmt, ast.If):
+            _collect_local_arrays(stmt.then_body, into, func)
+            _collect_local_arrays(stmt.else_body, into, func)
+        elif isinstance(stmt, ast.While):
+            _collect_local_arrays(stmt.body, into, func)
+        elif isinstance(stmt, ast.For):
+            _collect_local_arrays(stmt.body, into, func)
+        elif isinstance(stmt, ast.Block):
+            _collect_local_arrays(stmt.body, into, func)
+
+
+def _collect_calls(stmts: List[ast.Stmt]) -> Set[str]:
+    calls: Set[str] = set()
+
+    def visit_expr(expr: Optional[ast.Expr]) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.Call):
+            if expr.name not in INTRINSICS:
+                calls.add(expr.name)
+            for arg in expr.args:
+                visit_expr(arg)
+        elif isinstance(expr, ast.Unary):
+            visit_expr(expr.operand)
+        elif isinstance(expr, ast.Binary):
+            visit_expr(expr.left)
+            visit_expr(expr.right)
+        elif isinstance(expr, ast.Index):
+            for index in expr.indices:
+                visit_expr(index)
+
+    def visit(stmt: ast.Stmt) -> None:
+        for attr in ("init", "cond", "step", "value", "expr"):
+            node = getattr(stmt, attr, None)
+            if isinstance(node, ast.Expr):
+                visit_expr(node)
+            elif isinstance(node, ast.Stmt):
+                visit(node)
+        if isinstance(stmt, ast.IndexAssign):
+            for index in stmt.indices:
+                visit_expr(index)
+        for attr in ("body", "then_body", "else_body"):
+            for child in getattr(stmt, attr, []):
+                visit(child)
+
+    for stmt in stmts:
+        visit(stmt)
+    return calls
+
+
+def analyze(unit: ast.TranslationUnit) -> ProgramEnv:
+    """Build the program environment, raising on semantic errors."""
+    env = ProgramEnv()
+    for decl in unit.globals_:
+        if decl.name in env.global_arrays:
+            raise CompileError(f"duplicate global {decl.name!r}", decl.line)
+        env.global_arrays[decl.name] = decl
+    for func in unit.functions:
+        if func.name in env.signatures:
+            raise CompileError(f"duplicate function {func.name!r}", func.line)
+        if func.name in INTRINSICS:
+            raise CompileError(f"{func.name!r} shadows an intrinsic", func.line)
+        seen: Set[str] = set()
+        for param in func.params:
+            if param.name in seen:
+                raise CompileError(
+                    f"duplicate parameter {param.name!r} in {func.name}",
+                    func.line)
+            seen.add(param.name)
+        env.signatures[func.name] = Signature(
+            func.name, func.return_type, tuple(func.params))
+        arrays: Dict[str, Tuple[str, Tuple[int, ...]]] = {}
+        _collect_local_arrays(func.body, arrays, func.name)
+        env.local_arrays[func.name] = arrays
+    if "main" not in env.signatures:
+        raise CompileError("program has no main function")
+
+    # recursion detection (reject local arrays in recursive functions —
+    # they are statically allocated, see Program.layout_memory)
+    call_graph = {f.name: _collect_calls(f.body) & set(env.signatures)
+                  for f in unit.functions}
+    for start in call_graph:
+        stack = [start]
+        visited: Set[str] = set()
+        while stack:
+            current = stack.pop()
+            for callee in call_graph.get(current, ()):
+                if callee == start:
+                    env.recursive.add(start)
+                elif callee not in visited:
+                    visited.add(callee)
+                    stack.append(callee)
+    for name in env.recursive:
+        if env.local_arrays.get(name):
+            raise CompileError(
+                f"function {name!r} is recursive but declares local arrays "
+                f"(local arrays are statically allocated)")
+    return env

@@ -1,0 +1,72 @@
+"""Decision-tree intermediate representation (the LIFE compiler IR).
+
+Public surface: values and guards, operations, decision trees, programs,
+dependence graphs, validation, and a fluent builder.
+"""
+
+from .affine import AffineExpr
+from .builder import TreeBuilder
+from .depgraph import (
+    AliasAnswer,
+    AliasOracle,
+    Arc,
+    ArcKind,
+    DependenceGraph,
+    MEMORY_ARC_KINDS,
+    build_dependence_graph,
+    naive_oracle,
+)
+from .guards import Guard, guard_implies, guards_disjoint
+from .memory import MemAccess, Region, RegionKind
+from .operations import OpCategory, Opcode, Operation
+from .program import ArrayDecl, Function, Program
+from .printer import format_function, format_program, format_tree
+from .tree import DecisionTree, ExitKind, TreeExit
+from .validate import (
+    IRValidationError,
+    validate_function,
+    validate_program,
+    validate_tree,
+)
+from .values import BOOL, FLOAT, INT, Constant, Operand, Register
+
+__all__ = [
+    "AffineExpr",
+    "AliasAnswer",
+    "AliasOracle",
+    "Arc",
+    "ArcKind",
+    "ArrayDecl",
+    "BOOL",
+    "Constant",
+    "DecisionTree",
+    "DependenceGraph",
+    "ExitKind",
+    "FLOAT",
+    "Function",
+    "Guard",
+    "INT",
+    "IRValidationError",
+    "MEMORY_ARC_KINDS",
+    "MemAccess",
+    "OpCategory",
+    "Opcode",
+    "Operand",
+    "Operation",
+    "Program",
+    "Region",
+    "RegionKind",
+    "Register",
+    "TreeBuilder",
+    "TreeExit",
+    "build_dependence_graph",
+    "format_function",
+    "format_program",
+    "format_tree",
+    "guard_implies",
+    "guards_disjoint",
+    "naive_oracle",
+    "validate_function",
+    "validate_program",
+    "validate_tree",
+]

@@ -1,0 +1,279 @@
+"""Dependence graphs over decision trees.
+
+Nodes are the tree's operations (indices ``0..n-1``) followed by its
+exits (indices ``n..n+e-1``).  Arcs always point forward in list order
+— the IR invariant that definitions precede uses makes this possible —
+so every timing model can evaluate the graph in a single pass.
+
+Memory dependences are classified by an *alias oracle*, the pluggable
+interface behind the paper's four disambiguators (Table 6-4): the oracle
+answers NO (never alias), YES (definitely alias) or MAYBE for each pair
+of memory references, and MAYBE pairs become *ambiguous* arcs — the arcs
+speculative disambiguation exists to attack.
+
+Guard-awareness: operations with provably disjoint guards (the alias and
+no-alias versions produced by SpD) never receive arcs against each
+other; without this the transformed code would re-serialise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .guard_analysis import GuardAnalysis
+from .guards import Guard, guards_disjoint
+from .operations import Operation
+from .tree import DecisionTree, TreeExit
+from .values import Register
+
+__all__ = [
+    "ArcKind",
+    "Arc",
+    "AliasAnswer",
+    "AliasOracle",
+    "DependenceGraph",
+    "build_dependence_graph",
+    "naive_oracle",
+]
+
+
+class ArcKind(enum.Enum):
+    """What a dependence arc protects; drives its timing rule."""
+    REG_RAW = "reg_raw"
+    REG_WAR = "reg_war"
+    REG_WAW = "reg_waw"
+    MEM_RAW = "mem_raw"
+    MEM_WAR = "mem_war"
+    MEM_WAW = "mem_waw"
+    ORDER = "order"        #: serialised side effects (PRINT chain)
+    COMMIT = "commit"      #: committing op must complete before its exit
+    EXIT_ORDER = "exit_order"  #: exits resolve in list order
+
+
+#: Memory arc kinds, the candidates for disambiguation.
+MEMORY_ARC_KINDS = frozenset({ArcKind.MEM_RAW, ArcKind.MEM_WAR, ArcKind.MEM_WAW})
+
+
+class AliasAnswer(enum.Enum):
+    """The three answers of a static disambiguator (paper Section 2.2)."""
+
+    NO = "no"        #: never alias
+    YES = "yes"      #: alias at least sometimes; keep a definite arc
+    MAYBE = "maybe"  #: unknown; keep an *ambiguous* arc
+
+
+#: Oracle signature: classify a pair of memory operations (earlier, later).
+AliasOracle = Callable[[Operation, Operation], AliasAnswer]
+
+
+def naive_oracle(op_a: Operation, op_b: Operation) -> AliasAnswer:
+    """The NAIVE disambiguator: no analysis, everything may alias."""
+    return AliasAnswer.MAYBE
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A dependence arc between two graph nodes (forward in list order).
+
+    ``key`` — the (src op_id, dst op_id) pair — survives tree rebuilds
+    that keep op identities, and is the handle used by profiles and by
+    the SpD heuristic.
+    """
+
+    src: int
+    dst: int
+    kind: ArcKind
+    ambiguous: bool = False
+    via_guard: bool = False
+    key: Tuple[int, int] = (-1, -1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        amb = "?" if self.ambiguous else ""
+        return f"<{self.src}->{self.dst} {self.kind.value}{amb}>"
+
+
+class DependenceGraph:
+    """Arcs plus adjacency over one decision tree."""
+
+    def __init__(self, tree: DecisionTree, arcs: Sequence[Arc]):
+        self.tree = tree
+        self.num_ops = len(tree.ops)
+        self.num_nodes = self.num_ops + len(tree.exits)
+        self.arcs: List[Arc] = list(arcs)
+        self._preds: List[List[Arc]] = [[] for _ in range(self.num_nodes)]
+        self._succs: List[List[Arc]] = [[] for _ in range(self.num_nodes)]
+        for arc in self.arcs:
+            if not 0 <= arc.src < arc.dst < self.num_nodes:
+                raise ValueError(f"arc {arc} out of range or not forward")
+            self._preds[arc.dst].append(arc)
+            self._succs[arc.src].append(arc)
+
+    # -- node helpers -----------------------------------------------------
+
+    def is_exit_node(self, node: int) -> bool:
+        return node >= self.num_ops
+
+    def node_op(self, node: int) -> Optional[Operation]:
+        return self.tree.ops[node] if node < self.num_ops else None
+
+    def node_exit(self, node: int) -> Optional[TreeExit]:
+        if node >= self.num_ops:
+            return self.tree.exits[node - self.num_ops]
+        return None
+
+    def exit_node(self, exit_index: int) -> int:
+        return self.num_ops + exit_index
+
+    # -- arc queries --------------------------------------------------------
+
+    def preds(self, node: int) -> List[Arc]:
+        return self._preds[node]
+
+    def succs(self, node: int) -> List[Arc]:
+        return self._succs[node]
+
+    def ambiguous_arcs(self) -> List[Arc]:
+        """All ambiguous memory arcs, the candidate set for SpD."""
+        return [a for a in self.arcs if a.ambiguous]
+
+    def memory_arcs(self) -> List[Arc]:
+        return [a for a in self.arcs if a.kind in MEMORY_ARC_KINDS]
+
+
+def _reaching_defs(
+    defs: List[Tuple[int, Optional[Guard]]], reader_guard: Optional[Guard],
+    disjoint,
+) -> List[int]:
+    """Indices of defs that may reach a read under *reader_guard*.
+
+    Walk the def list backwards; an unconditional def (or one whose
+    guard equals the reader's) kills everything earlier.
+    """
+    reaching: List[int] = []
+    for idx, def_guard in reversed(defs):
+        if disjoint(def_guard, reader_guard):
+            continue
+        reaching.append(idx)
+        if def_guard is None or def_guard == reader_guard:
+            break
+    return reaching
+
+
+def build_dependence_graph(
+    tree: DecisionTree, oracle: AliasOracle = naive_oracle
+) -> DependenceGraph:
+    """Construct the full dependence graph of a decision tree.
+
+    Register dependences come from def-use scanning with guard
+    disjointness; memory dependences from the alias oracle; COMMIT arcs
+    tie every operation that can commit on a path to that path's exit.
+    """
+    arcs: List[Arc] = []
+    ops = tree.ops
+    num_ops = len(ops)
+    disjoint = GuardAnalysis(tree).disjoint
+
+    def key_of(src: int, dst: int) -> Tuple[int, int]:
+        src_id = ops[src].op_id if src < num_ops else -(src - num_ops + 1)
+        dst_id = ops[dst].op_id if dst < num_ops else -(dst - num_ops + 1)
+        return (src_id, dst_id)
+
+    # ---- register dependences -------------------------------------------
+    defs: Dict[Register, List[Tuple[int, Optional[Guard]]]] = {}
+    reads: Dict[Register, List[Tuple[int, Optional[Guard]]]] = {}
+
+    def add_read_arcs(node: int, reg: Register, node_guard: Optional[Guard],
+                      via_guard: bool) -> None:
+        for def_idx in _reaching_defs(defs.get(reg, []), node_guard, disjoint):
+            arcs.append(Arc(def_idx, node, ArcKind.REG_RAW,
+                            via_guard=via_guard, key=key_of(def_idx, node)))
+
+    for j, op in enumerate(ops):
+        for reg in op.data_source_registers():
+            add_read_arcs(j, reg, op.guard, via_guard=False)
+            reads.setdefault(reg, []).append((j, op.guard))
+        if op.guard is not None:
+            add_read_arcs(j, op.guard.reg, op.guard, via_guard=True)
+            reads.setdefault(op.guard.reg, []).append((j, op.guard))
+        if op.dest is not None:
+            reg = op.dest
+            for read_idx, read_guard in reads.get(reg, []):
+                if read_idx != j and not disjoint(read_guard, op.guard):
+                    arcs.append(Arc(read_idx, j, ArcKind.REG_WAR,
+                                    key=key_of(read_idx, j)))
+            for def_idx, def_guard in defs.get(reg, []):
+                if not disjoint(def_guard, op.guard):
+                    arcs.append(Arc(def_idx, j, ArcKind.REG_WAW,
+                                    key=key_of(def_idx, j)))
+            if op.guard is None:
+                defs[reg] = [(j, None)]
+                reads[reg] = []
+            else:
+                defs.setdefault(reg, []).append((j, op.guard))
+
+    # ---- memory dependences -----------------------------------------------
+    mem_indices = tree.memory_ops()
+    for a_pos, i in enumerate(mem_indices):
+        op_i = ops[i]
+        for j in mem_indices[a_pos + 1:]:
+            op_j = ops[j]
+            if not (op_i.is_store or op_j.is_store):
+                continue  # load-load pairs never conflict
+            if disjoint(op_i.guard, op_j.guard):
+                continue
+            if (op_i.op_id, op_j.op_id) in tree.spd_resolved:
+                continue
+            answer = oracle(op_i, op_j)
+            if answer is AliasAnswer.NO:
+                continue
+            if op_i.is_store and op_j.is_load:
+                kind = ArcKind.MEM_RAW
+            elif op_i.is_load and op_j.is_store:
+                kind = ArcKind.MEM_WAR
+            else:
+                kind = ArcKind.MEM_WAW
+            arcs.append(Arc(i, j, kind,
+                            ambiguous=(answer is AliasAnswer.MAYBE),
+                            key=key_of(i, j)))
+
+    # ---- serialised PRINT chain -------------------------------------------
+    print_indices = [i for i, op in enumerate(ops) if op.is_print]
+    for prev, nxt in zip(print_indices, print_indices[1:]):
+        arcs.append(Arc(prev, nxt, ArcKind.ORDER, key=key_of(prev, nxt)))
+
+    # ---- exits ---------------------------------------------------------------
+    for e_idx, exit_ in enumerate(tree.exits):
+        node = num_ops + e_idx
+        # exits resolve in list order ("first true guard wins")
+        if e_idx > 0:
+            arcs.append(Arc(node - 1, node, ArcKind.EXIT_ORDER,
+                            key=key_of(node - 1, node)))
+        # data operands of the exit (call args, return value)
+        for reg in {a for a in exit_.args if isinstance(a, Register)} | (
+            {exit_.value} if isinstance(exit_.value, Register) else set()
+        ):
+            add_read_arcs(node, reg, None, via_guard=False)
+        # the branch condition of this exit and of every earlier exit must
+        # be ready before this exit can resolve
+        seen_conds: Set[Register] = set()
+        for earlier in tree.exits[: e_idx + 1]:
+            if earlier.guard is not None and earlier.guard.reg not in seen_conds:
+                seen_conds.add(earlier.guard.reg)
+                add_read_arcs(node, earlier.guard.reg, None, via_guard=False)
+        # commit ordering: anything that commits on this path must issue
+        # no later than the exit
+        path = exit_.path_literals
+        for i, op in enumerate(ops):
+            if not tree.commits_on_path(op, path):
+                continue
+            if op.has_side_effect or (op.dest is not None and op.dest.is_variable):
+                arcs.append(Arc(i, node, ArcKind.COMMIT, key=key_of(i, node)))
+
+    # deduplicate (same src, dst, kind can be generated twice for exits)
+    unique: Dict[Tuple[int, int, ArcKind, bool], Arc] = {}
+    for arc in arcs:
+        ident = (arc.src, arc.dst, arc.kind, arc.via_guard)
+        unique.setdefault(ident, arc)
+    return DependenceGraph(tree, list(unique.values()))

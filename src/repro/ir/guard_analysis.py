@@ -1,0 +1,170 @@
+"""Symbolic guard analysis: proving two guards can never both be true.
+
+Speculative disambiguation emits an alias version and a no-alias version
+of replicated code, guarded by the two polarities of an address compare
+— possibly conjoined (via AND/ANDN/OR+negate) with a pre-existing
+if-conversion guard.  The dependence builder must recognise those guard
+pairs as *disjoint*, or the two versions would serialise against each
+other and the transformation would be useless.
+
+The analysis interprets single-assignment boolean definitions as
+conjunctions or disjunctions of *atoms* (compare results and other
+opaque booleans) and declares two guards disjoint when their conjunction
+forms contain a complementary literal.  Anything it cannot decompose —
+multiply-defined registers, guarded definitions — is conservatively
+treated as non-disjoint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from .guards import Guard
+from .operations import Opcode, Operation
+from .tree import DecisionTree
+from .values import Register
+
+__all__ = ["GuardAnalysis"]
+
+#: A literal: (atom register name, polarity).
+Literal = Tuple[str, bool]
+LiteralSet = FrozenSet[Literal]
+
+
+def _negate_literals(literals: LiteralSet) -> Optional[LiteralSet]:
+    """Negate a literal-set formula when representable.
+
+    The negation of a single literal is a literal; the negation of a
+    bigger conjunction/disjunction is only used through De Morgan at the
+    call sites, so here we handle just the singleton case.
+    """
+    if len(literals) == 1:
+        ((atom, polarity),) = literals
+        return frozenset({(atom, not polarity)})
+    return None
+
+
+class GuardAnalysis:
+    """Literal-set views of a tree's boolean definitions."""
+
+    def __init__(self, tree: DecisionTree):
+        self._defs: Dict[str, Optional[Operation]] = {}
+        for op in tree.ops:
+            if op.dest is None:
+                continue
+            name = op.dest.name
+            if name in self._defs or op.guard is not None:
+                # multiply-defined or conditionally-defined: opaque
+                self._defs[name] = None
+            else:
+                self._defs[name] = op
+        self._conj: Dict[str, Optional[LiteralSet]] = {}
+        self._disj: Dict[str, Optional[LiteralSet]] = {}
+
+    # -- formula extraction ---------------------------------------------------
+
+    def _operand_conj(self, operand) -> Optional[LiteralSet]:
+        if isinstance(operand, Register):
+            return self.conjunction(operand.name)
+        return None
+
+    def _operand_literal(self, operand, polarity: bool) -> Optional[LiteralSet]:
+        """A single literal (±operand), decomposing singletons."""
+        if not isinstance(operand, Register):
+            return None
+        if operand.name in self._defs and self._defs[operand.name] is None:
+            return None  # opaque definition: no sound literal view
+        conj = self.conjunction(operand.name)
+        if conj is not None and len(conj) == 1:
+            if polarity:
+                return conj
+            return _negate_literals(conj)
+        return frozenset({(operand.name, polarity)})
+
+    def conjunction(self, name: str) -> Optional[LiteralSet]:
+        """The definition of *name* as a conjunction of literals, or the
+        atom itself, or None when opaque (multi-def/guarded)."""
+        if name in self._conj:
+            return self._conj[name]
+        self._conj[name] = frozenset({(name, True)})  # cycle-safe default
+        op = self._defs.get(name)
+        if op is None and name in self._defs:
+            result: Optional[LiteralSet] = None  # opaque definition
+        elif op is None:
+            result = frozenset({(name, True)})  # live-in: atomic
+        elif op.opcode is Opcode.AND:
+            left = self._operand_conj(op.srcs[0])
+            right = self._operand_conj(op.srcs[1])
+            result = left | right if left is not None and right is not None \
+                else frozenset({(name, True)})
+        elif op.opcode is Opcode.ANDN:
+            left = self._operand_conj(op.srcs[0])
+            right = self._operand_literal(op.srcs[1], False)
+            result = left | right if left is not None and right is not None \
+                else frozenset({(name, True)})
+        elif op.opcode is Opcode.NOT:
+            inner = self._operand_literal(op.srcs[0], False)
+            result = inner if inner is not None else frozenset({(name, True)})
+        else:
+            result = frozenset({(name, True)})  # compare or opaque: atom
+        self._conj[name] = result
+        return result
+
+    def disjunction(self, name: str) -> Optional[LiteralSet]:
+        """The definition of *name* as a disjunction of literals (for
+        De Morgan on negated guards), or None when not an OR tree."""
+        if name in self._disj:
+            return self._disj[name]
+        self._disj[name] = None  # cycle-safe default
+        op = self._defs.get(name)
+        result: Optional[LiteralSet] = None
+        if op is not None and op.opcode is Opcode.OR:
+            parts = []
+            for operand in op.srcs:
+                if not isinstance(operand, Register):
+                    parts = None
+                    break
+                sub = self.disjunction(operand.name)
+                if sub is None:
+                    sub = self._operand_literal(operand, True)
+                if sub is None:
+                    parts = None
+                    break
+                parts.append(sub)
+            if parts is not None:
+                result = frozenset().union(*parts)
+        self._disj[name] = result
+        return result
+
+    # -- the public query --------------------------------------------------
+
+    def guard_literals(self, guard: Optional[Guard]) -> Optional[LiteralSet]:
+        """*guard* as a conjunction of literals; None if unguarded or
+        not representable as a conjunction."""
+        if guard is None:
+            return None
+        name = guard.reg.name
+        if name in self._defs and self._defs[name] is None:
+            return None  # opaque (multi-def or guarded) definition
+        if not guard.negate:
+            return self.conjunction(guard.reg.name)
+        disj = self.disjunction(guard.reg.name)
+        if disj is not None:
+            # De Morgan: NOT (a OR b) == (NOT a) AND (NOT b)
+            return frozenset((atom, not pol) for atom, pol in disj)
+        conj = self.conjunction(guard.reg.name)
+        if conj is not None:
+            negated = _negate_literals(conj)
+            if negated is not None:
+                return negated
+        return frozenset({(guard.reg.name, False)})
+
+    def disjoint(self, a: Optional[Guard], b: Optional[Guard]) -> bool:
+        """True when guards *a* and *b* can never both be true."""
+        if a is None or b is None:
+            return False
+        lits_a = self.guard_literals(a)
+        lits_b = self.guard_literals(b)
+        if lits_a is None or lits_b is None:
+            return False
+        return any((atom, not pol) in lits_b for atom, pol in lits_a)

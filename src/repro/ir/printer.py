@@ -1,0 +1,91 @@
+"""Human-readable dumps of the decision-tree IR (debugging aid)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .operations import Operation
+from .program import Function, Program
+from .tree import DecisionTree, ExitKind, TreeExit
+from .values import Constant, Register
+
+__all__ = ["format_operand", "format_op", "format_exit", "format_tree",
+           "format_function", "format_program"]
+
+
+def format_operand(operand) -> str:
+    """Render one operand (%reg or #const)."""
+    if isinstance(operand, Register):
+        return f"%{operand.name}"
+    if isinstance(operand, Constant):
+        return f"#{operand.value}"
+    return repr(operand)
+
+
+def format_op(op: Operation) -> str:
+    """Render one operation with its guard and access note."""
+    guard = ""
+    if op.guard is not None:
+        bubble = "!" if op.guard.negate else ""
+        guard = f"[{bubble}{op.guard.reg.name}] "
+    dest = f"%{op.dest.name} = " if op.dest is not None else ""
+    srcs = ", ".join(format_operand(s) for s in op.srcs)
+    amb = ""
+    if op.access is not None and op.access.region is not None:
+        amb = f"  ; {op.access.region.kind.value}:{op.access.region.name}"
+        if op.access.subscript is not None:
+            amb += f"[{op.access.subscript!r}]"
+    return f"  {op.op_id:>3}: {guard}{dest}{op.opcode.value} {srcs}{amb}"
+
+
+def format_exit(exit_: TreeExit) -> str:
+    """Render one tree exit."""
+    guard = ""
+    if exit_.guard is not None:
+        bubble = "!" if exit_.guard.negate else ""
+        guard = f"[{bubble}{exit_.guard.reg.name}] "
+    if exit_.kind is ExitKind.GOTO:
+        body = f"goto {exit_.target}"
+    elif exit_.kind is ExitKind.CALL:
+        args = ", ".join(format_operand(a) for a in exit_.args)
+        result = f"%{exit_.result.name} = " if exit_.result is not None else ""
+        body = f"{result}call {exit_.callee}({args}) -> {exit_.target}"
+    elif exit_.kind is ExitKind.RETURN:
+        value = f" {format_operand(exit_.value)}" if exit_.value is not None else ""
+        body = f"return{value}"
+    else:
+        body = "halt"
+    return f"  exit: {guard}{body}"
+
+
+def format_tree(tree: DecisionTree) -> str:
+    """Render a whole decision tree, ops then exits."""
+    lines: List[str] = [f"tree {tree.name}:"]
+    lines += [format_op(op) for op in tree.ops]
+    lines += [format_exit(e) for e in tree.exits]
+    return "\n".join(lines)
+
+
+def format_function(function: Function) -> str:
+    """Render a function: params, local arrays, trees."""
+    params = ", ".join(f"%{p.name}:{p.type}" for p in function.params)
+    lines = [f"func {function.name}({params}) entry={function.entry}"]
+    for decl in function.local_arrays:
+        dims = "".join(f"[{d}]" for d in decl.dims)
+        lines.append(f"  local {decl.elem_type} {decl.name}{dims}")
+    for name in function.trees:
+        lines.append(format_tree(function.trees[name]))
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Render the whole program including the memory layout."""
+    lines: List[str] = []
+    for decl in program.globals_:
+        dims = "".join(f"[{d}]" for d in decl.dims)
+        base = program.layout.get(decl.name)
+        at = f" @ {base}" if base is not None else ""
+        lines.append(f"global {decl.elem_type} {decl.name}{dims}{at}")
+    for function in program.functions.values():
+        lines.append(format_function(function))
+    return "\n".join(lines)

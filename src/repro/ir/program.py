@@ -1,0 +1,150 @@
+"""Whole-program container: functions, decision trees, memory layout.
+
+Memory model
+------------
+A single flat, word-addressed memory holds every array.  Global arrays
+and function-local arrays are laid out statically by
+:meth:`Program.layout_memory` (the frontend rejects local arrays in
+recursive functions, so static allocation is sound).  Scalars never live
+in memory — they are virtual registers — so every LOAD/STORE is an array
+access, which is exactly the population the paper's disambiguators
+reason about.  Array-valued parameters are passed as base addresses in
+ordinary integer registers; this is what creates the ambiguous aliases
+that defeat the static disambiguator in the Numerical Recipes kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .tree import DecisionTree
+from .values import Register
+
+__all__ = ["ArrayDecl", "Function", "Program"]
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """A statically allocated array (global, or local to a function)."""
+
+    name: str
+    elem_type: str
+    dims: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dims or any(d <= 0 for d in self.dims):
+            raise ValueError(f"array {self.name} has invalid dims {self.dims}")
+
+    @property
+    def words(self) -> int:
+        total = 1
+        for dim in self.dims:
+            total *= dim
+        return total
+
+
+@dataclass
+class Function:
+    """A compiled function: parameters plus a graph of decision trees."""
+
+    name: str
+    params: List[Register] = field(default_factory=list)
+    return_type: Optional[str] = None
+    trees: Dict[str, DecisionTree] = field(default_factory=dict)
+    entry: Optional[str] = None
+    local_arrays: List[ArrayDecl] = field(default_factory=list)
+
+    def add_tree(self, tree: DecisionTree) -> DecisionTree:
+        if tree.name in self.trees:
+            raise ValueError(f"duplicate tree {tree.name} in {self.name}")
+        self.trees[tree.name] = tree
+        if self.entry is None:
+            self.entry = tree.name
+        return tree
+
+    def tree_names(self) -> List[str]:
+        return list(self.trees)
+
+    def size(self) -> int:
+        """Function size in operations (paper's code-size metric)."""
+        return sum(tree.size() for tree in self.trees.values())
+
+
+@dataclass
+class Program:
+    """A compiled tinyc program."""
+
+    functions: Dict[str, Function] = field(default_factory=dict)
+    globals_: List[ArrayDecl] = field(default_factory=list)
+    entry_function: str = "main"
+    #: region name -> base word address; filled by layout_memory()
+    layout: Dict[str, int] = field(default_factory=dict)
+    memory_words: int = 0
+
+    def add_function(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise ValueError(f"duplicate function {function.name}")
+        self.functions[function.name] = function
+        return function
+
+    def function(self, name: str) -> Function:
+        return self.functions[name]
+
+    def layout_memory(self, guard_words: int = 0) -> None:
+        """Assign base addresses to every global and local array.
+
+        ``guard_words`` of unused space separate consecutive arrays so
+        that out-of-bounds accesses in buggy benchmark code fault loudly
+        in the interpreter instead of silently corrupting a neighbour.
+        """
+        self.layout = {}
+        address = 0
+        for decl in self.globals_:
+            self.layout[decl.name] = address
+            address += decl.words + guard_words
+        for function in self.functions.values():
+            for decl in function.local_arrays:
+                region = f"{function.name}.{decl.name}"
+                if region in self.layout:
+                    raise ValueError(f"duplicate region {region}")
+                self.layout[region] = address
+                address += decl.words + guard_words
+        self.memory_words = address
+
+    def all_trees(self) -> List[Tuple[str, DecisionTree]]:
+        """(function name, tree) pairs across the whole program."""
+        pairs: List[Tuple[str, DecisionTree]] = []
+        for function in self.functions.values():
+            for tree in function.trees.values():
+                pairs.append((function.name, tree))
+        return pairs
+
+    def size(self) -> int:
+        """Program size in operations (paper's code-size metric)."""
+        return sum(function.size() for function in self.functions.values())
+
+    def copy(self) -> "Program":
+        """Copy with fresh tree objects, sharing immutable declarations.
+
+        Disambiguation pipelines transform copies so that the original
+        (NAIVE) program stays available for output validation.
+        """
+        clone = Program(
+            functions={},
+            globals_=list(self.globals_),
+            entry_function=self.entry_function,
+            layout=dict(self.layout),
+            memory_words=self.memory_words,
+        )
+        for function in self.functions.values():
+            copied = Function(
+                name=function.name,
+                params=list(function.params),
+                return_type=function.return_type,
+                trees={name: tree.copy() for name, tree in function.trees.items()},
+                entry=function.entry,
+                local_arrays=list(function.local_arrays),
+            )
+            clone.functions[function.name] = copied
+        return clone

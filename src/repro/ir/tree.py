@@ -1,0 +1,183 @@
+"""Decision trees: the scheduling unit of the guarded LIFE machine.
+
+A decision tree (paper Section 4.1, after Hsu & Davidson) is the largest
+group of basic blocks with a single entry point, multiple exit points and
+no backward edges.  If-conversion folds the tree's internal branches into
+guards, so a tree is represented here as a *flat, sequentially ordered*
+list of guarded operations followed by an ordered list of exits.
+
+Sequential semantics (what the functional simulator executes, and the
+reference against which every transformation is validated):
+
+1. Execute the operations in list order; an operation whose guard
+   evaluates false is skipped.
+2. Evaluate the exits in list order; the first exit whose guard
+   evaluates true is taken (the last exit must be unconditional).
+
+The scheduler and timing models are free to reorder operations subject
+to the dependence graph; list order itself carries no timing meaning.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .guards import Guard
+from .operations import Operation, PathLiterals
+from .values import Operand, Register
+
+__all__ = ["ExitKind", "TreeExit", "DecisionTree"]
+
+
+class ExitKind(enum.Enum):
+    """How control leaves a decision tree."""
+    GOTO = "goto"      #: jump to another tree in the same function
+    CALL = "call"      #: call a function, then continue at another tree
+    RETURN = "return"  #: return (with optional value) to the caller
+    HALT = "halt"      #: end the program (only valid in main)
+
+
+@dataclass(frozen=True)
+class TreeExit:
+    """One exit point of a decision tree.
+
+    ``guard`` follows the same semantics as operation guards.  ``target``
+    names the continuation tree for GOTO and CALL; for CALL, control
+    resumes at ``target`` after the callee returns.  ``path_literals``
+    identifies the branch path this exit terminates, which is the key
+    used for path-probability profiling.
+    """
+
+    kind: ExitKind
+    guard: Optional[Guard] = None
+    target: Optional[str] = None
+    callee: Optional[str] = None
+    args: Tuple[Operand, ...] = ()
+    result: Optional[Register] = None          # CALL: register receiving the return value
+    value: Optional[Operand] = None            # RETURN: returned operand
+    path_literals: PathLiterals = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.kind in (ExitKind.GOTO, ExitKind.CALL) and self.target is None:
+            raise ValueError(f"{self.kind} exit requires a target tree")
+        if self.kind is ExitKind.CALL and self.callee is None:
+            raise ValueError("CALL exit requires a callee")
+
+    def source_registers(self) -> Tuple[Register, ...]:
+        regs = [a for a in self.args if isinstance(a, Register)]
+        if isinstance(self.value, Register):
+            regs.append(self.value)
+        if self.guard is not None:
+            regs.append(self.guard.reg)
+        return tuple(regs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        guard = f"{self.guard!r} " if self.guard else ""
+        if self.kind is ExitKind.GOTO:
+            return f"<exit {guard}goto {self.target}>"
+        if self.kind is ExitKind.CALL:
+            return f"<exit {guard}call {self.callee} -> {self.target}>"
+        if self.kind is ExitKind.RETURN:
+            return f"<exit {guard}return {self.value!r}>"
+        return f"<exit {guard}halt>"
+
+
+@dataclass
+class DecisionTree:
+    """A guarded, if-converted decision tree.
+
+    ``ops`` is the sequential operation list; ``exits`` the ordered exit
+    list.  ``spd_resolved`` records (earlier_op_id, later_op_id) pairs
+    whose ambiguous memory dependence has been *resolved* by speculative
+    disambiguation — the dependence builder must not re-create an
+    ambiguous arc for them.
+    """
+
+    name: str
+    ops: List[Operation] = field(default_factory=list)
+    exits: List[TreeExit] = field(default_factory=list)
+    spd_resolved: set = field(default_factory=set)
+    next_op_id: int = 0
+    next_temp_id: int = 0
+
+    # -- construction helpers ---------------------------------------------
+
+    def fresh_op_id(self) -> int:
+        op_id = self.next_op_id
+        self.next_op_id += 1
+        return op_id
+
+    def fresh_register(self, type_: str, prefix: str = "t") -> Register:
+        reg = Register(f"{prefix}{self.next_temp_id}.{self.name}", type_)
+        self.next_temp_id += 1
+        return reg
+
+    def append(self, op: Operation) -> Operation:
+        self.ops.append(op)
+        if op.op_id >= self.next_op_id:
+            self.next_op_id = op.op_id + 1
+        return op
+
+    # -- queries ------------------------------------------------------------
+
+    def op_index(self, op_id: int) -> int:
+        """Index in ``ops`` of the operation with the given id."""
+        for idx, op in enumerate(self.ops):
+            if op.op_id == op_id:
+                return idx
+        raise KeyError(f"no operation {op_id} in tree {self.name}")
+
+    def op_by_id(self, op_id: int) -> Operation:
+        return self.ops[self.op_index(op_id)]
+
+    def defs_of(self, reg: Register) -> List[int]:
+        """Indices of operations writing *reg*, in list order."""
+        return [i for i, op in enumerate(self.ops) if op.dest == reg]
+
+    def size(self) -> int:
+        """Tree size in operations, the paper's code-size metric
+        (operations rather than VLIW instructions; exits count as the
+        branch operations they compile to)."""
+        return len(self.ops) + len(self.exits)
+
+    def memory_ops(self) -> List[int]:
+        """Indices of LOAD/STORE operations in list order."""
+        return [i for i, op in enumerate(self.ops) if op.is_memory]
+
+    def exit_paths(self) -> List[PathLiterals]:
+        """Path-literal sets of the exits, in exit order."""
+        return [exit_.path_literals for exit_ in self.exits]
+
+    def commits_on_path(self, op: Operation, path: PathLiterals) -> bool:
+        """Whether *op* can commit when the tree leaves through a path.
+
+        An operation lies on a path if its branch literals do not
+        contradict the path's.  Guards added by speculative
+        disambiguation are data conditions, not path literals, so both
+        SpD versions are (conservatively, and faithfully to a static
+        VLIW schedule) considered present on the path.
+        """
+        for reg_name, polarity in op.path_literals:
+            if (reg_name, not polarity) in path:
+                return False
+        return True
+
+    def copy(self) -> "DecisionTree":
+        """A deep-enough copy: operations/exits are immutable, lists are
+        fresh, so transforming the copy never mutates the original."""
+        return DecisionTree(
+            name=self.name,
+            ops=list(self.ops),
+            exits=list(self.exits),
+            spd_resolved=set(self.spd_resolved),
+            next_op_id=self.next_op_id,
+            next_temp_id=self.next_temp_id,
+        )
+
+    def replace_exit(self, index: int, new_exit: TreeExit) -> None:
+        self.exits[index] = new_exit
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<tree {self.name}: {len(self.ops)} ops, {len(self.exits)} exits>"

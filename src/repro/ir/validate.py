@@ -1,0 +1,139 @@
+"""IR validation: structural invariants checked after every pass.
+
+The checks are deliberately strict — the speculative-disambiguation
+transform rewrites trees in place, and a malformed tree would otherwise
+surface as a wrong benchmark number rather than an error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from .operations import Opcode, Operation
+from .program import Function, Program
+from .tree import DecisionTree, ExitKind
+from .values import Register
+
+__all__ = ["IRValidationError", "validate_tree", "validate_function", "validate_program"]
+
+
+class IRValidationError(Exception):
+    """Raised when an IR invariant is violated."""
+
+
+_ARITY = {
+    Opcode.ADD: 2, Opcode.SUB: 2, Opcode.MUL: 2, Opcode.DIV: 2, Opcode.MOD: 2,
+    Opcode.AND: 2, Opcode.ANDN: 2, Opcode.OR: 2, Opcode.XOR: 2,
+    Opcode.SHL: 2, Opcode.SHR: 2,
+    Opcode.NEG: 1, Opcode.NOT: 1, Opcode.MOV: 1,
+    Opcode.SELECT: 3,
+    Opcode.CMP_EQ: 2, Opcode.CMP_NE: 2, Opcode.CMP_LT: 2,
+    Opcode.CMP_LE: 2, Opcode.CMP_GT: 2, Opcode.CMP_GE: 2,
+    Opcode.FADD: 2, Opcode.FSUB: 2, Opcode.FMUL: 2, Opcode.FDIV: 2,
+    Opcode.FNEG: 1, Opcode.FMOV: 1, Opcode.I2F: 1, Opcode.F2I: 1,
+    Opcode.FSQRT: 1, Opcode.FSIN: 1, Opcode.FCOS: 1, Opcode.FABS: 1,
+    Opcode.FCMP_EQ: 2, Opcode.FCMP_NE: 2, Opcode.FCMP_LT: 2,
+    Opcode.FCMP_LE: 2, Opcode.FCMP_GT: 2, Opcode.FCMP_GE: 2,
+    Opcode.LOAD: 1, Opcode.STORE: 2, Opcode.PRINT: 1,
+}
+
+#: Opcodes that must not write a destination register.
+_NO_DEST = frozenset({Opcode.STORE, Opcode.PRINT})
+
+
+def _fail(tree: DecisionTree, message: str) -> None:
+    raise IRValidationError(f"tree {tree.name}: {message}")
+
+
+def validate_tree(tree: DecisionTree, live_in: Optional[Set[Register]] = None) -> None:
+    """Check one decision tree.
+
+    ``live_in`` is the set of registers that may legitimately be read
+    before any definition in this tree (variable registers and function
+    parameters).  When None, any variable register is assumed live-in.
+    """
+    seen_ids: Set[int] = set()
+    defined: Set[Register] = set()
+
+    def check_read(reg: Register, where: str) -> None:
+        if reg in defined:
+            return
+        if live_in is not None:
+            if reg not in live_in:
+                _fail(tree, f"{where}: read of undefined register {reg!r}")
+        elif not reg.is_variable:
+            _fail(tree, f"{where}: read of undefined temporary {reg!r}")
+
+    for op in tree.ops:
+        where = f"op {op.op_id} ({op.opcode.value})"
+        if op.op_id in seen_ids:
+            _fail(tree, f"{where}: duplicate op_id")
+        seen_ids.add(op.op_id)
+        expected = _ARITY.get(op.opcode)
+        if expected is None:
+            _fail(tree, f"{where}: unknown opcode")
+        if len(op.srcs) != expected:
+            _fail(tree, f"{where}: expected {expected} operands, got {len(op.srcs)}")
+        if op.opcode in _NO_DEST:
+            if op.dest is not None:
+                _fail(tree, f"{where}: must not have a destination")
+        elif op.dest is None:
+            _fail(tree, f"{where}: missing destination")
+        for reg in op.data_source_registers():
+            check_read(reg, where)
+        if op.guard is not None:
+            check_read(op.guard.reg, where + " guard")
+        if op.dest is not None:
+            defined.add(op.dest)
+
+    if not tree.exits:
+        _fail(tree, "no exits")
+    last = tree.exits[-1]
+    if last.guard is not None:
+        _fail(tree, "last exit must be unconditional")
+    for e_idx, exit_ in enumerate(tree.exits):
+        where = f"exit {e_idx} ({exit_.kind.value})"
+        for reg in exit_.source_registers():
+            check_read(reg, where)
+
+
+def validate_function(function: Function, program: Optional[Program] = None) -> None:
+    """Check tree-graph consistency of one function."""
+    if function.entry is None or function.entry not in function.trees:
+        raise IRValidationError(f"function {function.name}: bad entry tree")
+    for tree in function.trees.values():
+        validate_tree(tree)
+        for e_idx, exit_ in enumerate(tree.exits):
+            where = f"function {function.name}, tree {tree.name}, exit {e_idx}"
+            if exit_.kind in (ExitKind.GOTO, ExitKind.CALL):
+                if exit_.target not in function.trees:
+                    raise IRValidationError(f"{where}: unknown target {exit_.target}")
+            if exit_.kind is ExitKind.CALL and program is not None:
+                callee = program.functions.get(exit_.callee)
+                if callee is None:
+                    raise IRValidationError(f"{where}: unknown callee {exit_.callee}")
+                if len(exit_.args) != len(callee.params):
+                    raise IRValidationError(
+                        f"{where}: {len(exit_.args)} args for "
+                        f"{len(callee.params)}-parameter {exit_.callee}"
+                    )
+            if exit_.kind is ExitKind.HALT and function.name != program_entry(program):
+                # HALT outside main is tolerated only when no program context
+                if program is not None:
+                    raise IRValidationError(f"{where}: HALT outside entry function")
+
+
+def program_entry(program: Optional[Program]) -> Optional[str]:
+    return program.entry_function if program is not None else None
+
+
+def validate_program(program: Program) -> None:
+    """Check the whole program, including memory layout coverage."""
+    if program.entry_function not in program.functions:
+        raise IRValidationError(f"missing entry function {program.entry_function}")
+    for function in program.functions.values():
+        validate_function(function, program)
+    if program.layout:
+        for decl in program.globals_:
+            if decl.name not in program.layout:
+                raise IRValidationError(f"global {decl.name} missing from layout")

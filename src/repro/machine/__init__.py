@@ -1,0 +1,14 @@
+"""LIFE VLIW machine model: latencies (Table 6-1) and configurations."""
+
+from .description import INFINITE, LifeMachine, machine, paper_machines
+from .latencies import LatencyTable, TABLE_6_1_MEM2, TABLE_6_1_MEM6
+
+__all__ = [
+    "INFINITE",
+    "LatencyTable",
+    "LifeMachine",
+    "TABLE_6_1_MEM2",
+    "TABLE_6_1_MEM6",
+    "machine",
+    "paper_machines",
+]

@@ -1,0 +1,60 @@
+"""Operation latencies — paper Table 6-1.
+
+======================  ==============
+operation               latency (cyc)
+======================  ==============
+integer multiplies      3
+integer and FP divides  7
+FP compares             1
+other ALU operations    1
+other FPU operations    3
+memory loads and stores 2 or 6
+branches                2
+======================  ==============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.operations import OpCategory, Operation
+
+__all__ = ["LatencyTable", "TABLE_6_1_MEM2", "TABLE_6_1_MEM6"]
+
+
+@dataclass(frozen=True)
+class LatencyTable:
+    """Per-category operation latencies in cycles."""
+
+    int_mul: int = 3
+    divide: int = 7
+    fp_compare: int = 1
+    alu: int = 1
+    fpu: int = 3
+    memory: int = 2
+    branch: int = 2
+
+    def __post_init__(self) -> None:
+        for field_name in ("int_mul", "divide", "fp_compare", "alu",
+                           "fpu", "memory", "branch"):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} latency must be >= 1")
+
+    def of_category(self, category: OpCategory) -> int:
+        return {
+            OpCategory.INT_MUL: self.int_mul,
+            OpCategory.DIVIDE: self.divide,
+            OpCategory.FP_COMPARE: self.fp_compare,
+            OpCategory.ALU: self.alu,
+            OpCategory.FPU: self.fpu,
+            OpCategory.MEMORY: self.memory,
+        }[category]
+
+    def of(self, op: Operation) -> int:
+        """Latency of one IR operation."""
+        return self.of_category(op.category)
+
+
+#: The paper's two memory configurations (Section 6.2).
+TABLE_6_1_MEM2 = LatencyTable(memory=2)
+TABLE_6_1_MEM6 = LatencyTable(memory=6)

@@ -1,0 +1,8 @@
+"""Resource-constrained scheduling of decision trees."""
+
+from .dump import dump_tree_schedule, format_schedule
+from .list_scheduler import list_schedule, schedule_tree
+from .schedule import Schedule
+
+__all__ = ["Schedule", "dump_tree_schedule", "format_schedule",
+           "list_schedule", "schedule_tree"]

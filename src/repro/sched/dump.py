@@ -1,0 +1,63 @@
+"""Human-readable VLIW schedule dumps.
+
+Renders a list-scheduled decision tree as instruction words — one row
+per cycle, one column per functional unit — the way a LIFE VLIW would
+fetch it.  Useful for eyeballing what speculative disambiguation did to
+a schedule (the alias and no-alias versions interleave across slots).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.depgraph import DependenceGraph
+from ..ir.printer import format_operand
+from ..machine.description import LifeMachine
+from .list_scheduler import list_schedule
+from .schedule import Schedule
+
+__all__ = ["format_schedule", "dump_tree_schedule"]
+
+
+def _slot_text(graph: DependenceGraph, node: int) -> str:
+    op = graph.node_op(node)
+    if op is not None:
+        guard = ""
+        if op.guard is not None:
+            bubble = "!" if op.guard.negate else ""
+            guard = f"[{bubble}{op.guard.reg.name}] "
+        dest = f"{op.dest.name}=" if op.dest is not None else ""
+        srcs = ",".join(format_operand(s) for s in op.srcs)
+        return f"{guard}{dest}{op.opcode.value} {srcs}"
+    exit_ = graph.node_exit(node)
+    guard = ""
+    if exit_.guard is not None:
+        bubble = "!" if exit_.guard.negate else ""
+        guard = f"[{bubble}{exit_.guard.reg.name}] "
+    return f"{guard}branch:{exit_.kind.value}"
+
+
+def format_schedule(graph: DependenceGraph, schedule: Schedule,
+                    width: int = 36) -> str:
+    """The schedule as fixed-width instruction words, cycle by cycle."""
+    lines: List[str] = []
+    header = "cycle  " + "".join(
+        f"slot{j}".ljust(width) for j in range(schedule.num_fus))
+    lines.append(header)
+    lines.append("-" * len(header))
+    last_cycle = max(schedule.issue) if schedule.issue else 0
+    for cycle in range(last_cycle + 1):
+        nodes = schedule.slots.get(cycle, [])
+        cells = [_slot_text(graph, node)[:width - 1] for node in nodes]
+        cells += [""] * (schedule.num_fus - len(cells))
+        lines.append(f"{cycle:5d}  " + "".join(c.ljust(width) for c in cells))
+    lines.append(f"(length {schedule.length} cycles, "
+                 f"utilization {schedule.utilization():.0%})")
+    return "\n".join(lines)
+
+
+def dump_tree_schedule(graph: DependenceGraph,
+                       machine: LifeMachine) -> str:
+    """Schedule one tree and render it (finite machines only)."""
+    schedule = list_schedule(graph, machine)
+    return format_schedule(graph, schedule)

@@ -1,0 +1,117 @@
+"""Greedy list scheduler for constrained LIFE machines.
+
+This is the reproduction's stand-in for the LIFE "scheduler that
+schedules decision trees for constrained resource machines" (Section
+6.1).  It performs cycle-by-cycle greedy list scheduling with a
+critical-path priority over the dependence graph:
+
+* the machine issues at most ``num_fus`` operations per cycle (universal
+  functional units — any operation in any slot; exits are branch
+  operations and occupy a slot too);
+* all timing rules match :mod:`repro.sim.timing`, including the
+  conditional-execution guard rule, so schedule times converge to the
+  infinite-machine times as the functional-unit count grows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.depgraph import ArcKind, DependenceGraph
+from ..machine.description import LifeMachine
+from ..sim.timing import (TreeTiming, guard_completion_floor,
+                          infinite_machine_timing, issue_constraint)
+from .schedule import Schedule
+
+__all__ = ["list_schedule", "schedule_tree"]
+
+
+def _priorities(graph: DependenceGraph, machine: LifeMachine) -> List[int]:
+    """Longest-latency path from each node to any sink (critical-path
+    priority).  Arcs only point forward, so one reverse sweep suffices."""
+    latencies = machine.latencies
+    num_nodes = graph.num_nodes
+    priority = [0] * num_nodes
+    for node in range(num_nodes - 1, -1, -1):
+        op = graph.node_op(node)
+        own = latencies.of(op) if op is not None else latencies.branch
+        best_succ = 0
+        for arc in graph.succs(node):
+            best_succ = max(best_succ, priority[arc.dst])
+        priority[node] = own + best_succ
+    return priority
+
+
+def list_schedule(graph: DependenceGraph, machine: LifeMachine) -> Schedule:
+    """Schedule one decision tree onto a ``machine.num_fus``-wide LIFE."""
+    if machine.is_infinite:
+        raise ValueError("use infinite_machine_timing for the infinite machine")
+    num_fus = machine.num_fus
+    latencies = machine.latencies
+    num_nodes = graph.num_nodes
+    priority = _priorities(graph, machine)
+
+    issue = [-1] * num_nodes
+    completion = [-1] * num_nodes
+    scheduled: Set[int] = set()
+    slots: Dict[int, List[int]] = {}
+    remaining = list(range(num_nodes))
+
+    cycle = 0
+    guard_cycles = 0
+    while remaining:
+        guard_cycles += 1
+        if guard_cycles > 1_000_000:
+            raise RuntimeError("list scheduler failed to converge")
+        used = 0
+        progressed = True
+        # several passes within one cycle: issuing a node can enable a
+        # same-cycle WAR/COMMIT successor
+        while progressed and used < num_fus:
+            progressed = False
+            candidates = []
+            for node in remaining:
+                earliest = 0
+                feasible = True
+                for arc in graph.preds(node):
+                    if arc.src not in scheduled:
+                        feasible = False
+                        break
+                    earliest = max(earliest,
+                                   issue_constraint(arc, issue, completion))
+                if feasible and earliest <= cycle:
+                    candidates.append(node)
+            if not candidates:
+                break
+            candidates.sort(key=lambda n: (-priority[n], n))
+            for node in candidates:
+                if used >= num_fus:
+                    break
+                issue[node] = cycle
+                op = graph.node_op(node)
+                if op is not None:
+                    done = cycle + latencies.of(op)
+                    done = max(done, guard_completion_floor(
+                        node, graph.preds(node), completion))
+                else:
+                    done = cycle + latencies.branch
+                completion[node] = done
+                scheduled.add(node)
+                slots.setdefault(cycle, []).append(node)
+                used += 1
+                progressed = True
+            remaining = [n for n in remaining if n not in scheduled]
+        cycle += 1
+
+    path_times = [completion[graph.exit_node(e)]
+                  for e in range(len(graph.tree.exits))]
+    return Schedule(issue, completion, path_times, num_fus, slots)
+
+
+def schedule_tree(graph: DependenceGraph, machine: LifeMachine) -> TreeTiming:
+    """Uniform entry point: infinite machines go through the dataflow
+    model, finite machines through the list scheduler."""
+    if machine.is_infinite:
+        return infinite_machine_timing(graph, machine)
+    sched = list_schedule(graph, machine)
+    return TreeTiming(sched.issue, sched.completion, sched.path_times)

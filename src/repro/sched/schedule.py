@@ -1,0 +1,41 @@
+"""Schedule results for resource-constrained LIFE machines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["Schedule"]
+
+
+@dataclass
+class Schedule:
+    """A cycle-accurate schedule of one decision tree.
+
+    ``issue``/``completion`` are indexed by dependence-graph node
+    (operations first, exits after).  ``slots`` maps each cycle to the
+    nodes issued in it, for occupancy checks and VLIW-style dumps.
+    """
+
+    issue: List[int]
+    completion: List[int]
+    path_times: List[int]
+    num_fus: int
+    slots: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def length(self) -> int:
+        """Total schedule length in cycles."""
+        return max(self.completion) if self.completion else 0
+
+    def utilization(self) -> float:
+        """Issued operations per available slot over the schedule."""
+        if not self.issue:
+            return 0.0
+        cycles = max(self.issue) + 1
+        return len(self.issue) / float(cycles * self.num_fus)
+
+    def words(self) -> List[Tuple[int, List[int]]]:
+        """(cycle, issued node list) pairs in cycle order — the VLIW
+        instruction words, no-op words omitted."""
+        return sorted(self.slots.items())

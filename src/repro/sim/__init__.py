@@ -1,0 +1,21 @@
+"""Functional simulation, profiling, and timing models."""
+
+from .evaluate import ProgramTiming, TreeReport, evaluate_program
+from .interpreter import Interpreter, InterpreterError, RunResult, run_program
+from .profile import PairStats, ProfileData
+from .timing import TreeTiming, average_time, infinite_machine_timing
+
+__all__ = [
+    "Interpreter",
+    "InterpreterError",
+    "PairStats",
+    "ProfileData",
+    "ProgramTiming",
+    "RunResult",
+    "TreeReport",
+    "TreeTiming",
+    "average_time",
+    "evaluate_program",
+    "infinite_machine_timing",
+    "run_program",
+]

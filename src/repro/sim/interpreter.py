@@ -1,0 +1,318 @@
+"""Functional simulator for decision-tree programs.
+
+This plays the role of the LIFE "cycle-level infinite machine simulator"
+of Section 6.1 in its *functional* capacity: it executes a program's
+decision trees under their sequential semantics, producing
+
+* the program output (used to validate that every disambiguation pass,
+  in particular the SpD code transformation, preserves semantics),
+* path-probability profiles, and
+* dynamic alias counts per memory-reference pair (the input to the
+  PERFECT disambiguator).
+
+Timing is *not* modelled here — see :mod:`repro.sim.timing` and
+:mod:`repro.sched` — so the interpreter stays a pure semantic reference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..ir.operations import Opcode, Operation
+from ..ir.program import Program
+from ..ir.tree import DecisionTree, ExitKind
+from ..ir.values import Constant, FLOAT, Operand, Register
+from .profile import ProfileData
+
+__all__ = ["InterpreterError", "RunResult", "Interpreter", "run_program"]
+
+Number = Union[int, float]
+
+
+class InterpreterError(Exception):
+    """Raised on runtime errors: bad address, division by zero,
+    undefined temporary, step-limit overrun, missing exit."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of one program execution."""
+
+    output: List[Number]
+    profile: ProfileData
+    steps: int
+    return_value: Optional[Number] = None
+
+    def output_equal(self, other: "RunResult", rel_tol: float = 1e-9) -> bool:
+        """Compare observable outputs, tolerating float rounding noise.
+
+        SpD's forwarding path produces bit-identical values under this
+        interpreter, so exact comparison normally succeeds; the
+        tolerance guards against platform-level libm differences only.
+        """
+        if len(self.output) != len(other.output):
+            return False
+        for mine, theirs in zip(self.output, other.output):
+            if isinstance(mine, float) or isinstance(theirs, float):
+                if not math.isclose(mine, theirs, rel_tol=rel_tol, abs_tol=1e-12):
+                    return False
+            elif mine != theirs:
+                return False
+        return True
+
+
+def _c_div(a: int, b: int) -> int:
+    """C-style integer division (truncation toward zero)."""
+    if b == 0:
+        raise InterpreterError("integer division by zero")
+    quotient = abs(a) // abs(b)
+    return quotient if (a >= 0) == (b >= 0) else -quotient
+
+
+def _c_mod(a: int, b: int) -> int:
+    """C-style remainder: sign follows the dividend."""
+    return a - _c_div(a, b) * b
+
+
+def _fdiv(a: float, b: float) -> float:
+    if b == 0:
+        raise InterpreterError("float division by zero")
+    return a / b
+
+
+_BINARY = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.DIV: _c_div,
+    Opcode.MOD: _c_mod,
+    Opcode.AND: lambda a, b: 1 if (a and b) else 0,
+    Opcode.ANDN: lambda a, b: 1 if (a and not b) else 0,
+    Opcode.OR: lambda a, b: 1 if (a or b) else 0,
+    Opcode.XOR: lambda a, b: 1 if bool(a) != bool(b) else 0,
+    Opcode.SHL: lambda a, b: a << b,
+    Opcode.SHR: lambda a, b: a >> b,
+    Opcode.CMP_EQ: lambda a, b: 1 if a == b else 0,
+    Opcode.CMP_NE: lambda a, b: 1 if a != b else 0,
+    Opcode.CMP_LT: lambda a, b: 1 if a < b else 0,
+    Opcode.CMP_LE: lambda a, b: 1 if a <= b else 0,
+    Opcode.CMP_GT: lambda a, b: 1 if a > b else 0,
+    Opcode.CMP_GE: lambda a, b: 1 if a >= b else 0,
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: a * b,
+    Opcode.FDIV: _fdiv,
+    Opcode.FCMP_EQ: lambda a, b: 1 if a == b else 0,
+    Opcode.FCMP_NE: lambda a, b: 1 if a != b else 0,
+    Opcode.FCMP_LT: lambda a, b: 1 if a < b else 0,
+    Opcode.FCMP_LE: lambda a, b: 1 if a <= b else 0,
+    Opcode.FCMP_GT: lambda a, b: 1 if a > b else 0,
+    Opcode.FCMP_GE: lambda a, b: 1 if a >= b else 0,
+}
+
+_UNARY = {
+    Opcode.NEG: lambda a: -a,
+    Opcode.NOT: lambda a: 0 if a else 1,
+    Opcode.MOV: lambda a: a,
+    Opcode.FNEG: lambda a: -a,
+    Opcode.FMOV: lambda a: a,
+    Opcode.I2F: float,
+    Opcode.F2I: lambda a: int(a),  # C truncation toward zero
+    Opcode.FSQRT: math.sqrt,
+    Opcode.FSIN: math.sin,
+    Opcode.FCOS: math.cos,
+    Opcode.FABS: abs,
+}
+
+
+@dataclass
+class _Frame:
+    function: str
+    tree: str
+    regs: Dict[str, Number] = field(default_factory=dict)
+    resume_tree: Optional[str] = None
+    result_reg: Optional[str] = None
+
+
+class Interpreter:
+    """Executes a program; optionally records a profile."""
+
+    def __init__(self, program: Program, max_steps: int = 200_000_000,
+                 collect_profile: bool = True, strict_memory: bool = False):
+        if not program.layout and (program.globals_ or any(
+                f.local_arrays for f in program.functions.values())):
+            program.layout_memory()
+        self.program = program
+        self.max_steps = max_steps
+        self.collect_profile = collect_profile
+        self.strict_memory = strict_memory
+        self.memory: List[Number] = [0] * program.memory_words
+        self.output: List[Number] = []
+        self.profile = ProfileData()
+        self.steps = 0
+
+    # -- operand/guard evaluation -------------------------------------------
+
+    def _read(self, regs: Dict[str, Number], operand: Operand) -> Number:
+        if isinstance(operand, Constant):
+            return operand.value
+        value = regs.get(operand.name)
+        if value is None:
+            # A register that was never written holds a junk value — on
+            # the real machine too.  This happens legitimately when a
+            # guarded (e.g. fault-protected division) definition was
+            # cancelled: its speculated consumers read junk that only a
+            # cancelled path could commit.
+            return 0.0 if operand.type == FLOAT else 0
+        return value
+
+    def _guard_true(self, regs: Dict[str, Number], op_guard) -> bool:
+        if op_guard is None:
+            return True
+        value = regs.get(op_guard.reg.name)
+        if value is None:
+            raise InterpreterError(
+                f"guard register %{op_guard.reg.name} read before definition")
+        truth = bool(value)
+        return (not truth) if op_guard.negate else truth
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, args: Tuple[Number, ...] = ()) -> RunResult:
+        entry = self.program.functions[self.program.entry_function]
+        if len(args) != len(entry.params):
+            raise InterpreterError(
+                f"entry function expects {len(entry.params)} args, got {len(args)}")
+        regs = {p.name: v for p, v in zip(entry.params, args)}
+        frame = _Frame(entry.name, entry.entry, regs)
+        stack: List[_Frame] = []
+        return_value: Optional[Number] = None
+
+        while True:
+            exit_, exit_index = self._execute_tree(frame)
+            if self.collect_profile:
+                key = (frame.function, frame.tree)
+                num_exits = len(
+                    self.program.functions[frame.function].trees[frame.tree].exits)
+                self.profile.record_tree(key, num_exits, exit_index)
+
+            if exit_.kind is ExitKind.GOTO:
+                frame.tree = exit_.target
+            elif exit_.kind is ExitKind.CALL:
+                callee = self.program.functions[exit_.callee]
+                values = [self._read(frame.regs, a) for a in exit_.args]
+                frame.resume_tree = exit_.target
+                frame.result_reg = exit_.result.name if exit_.result else None
+                stack.append(frame)
+                if len(stack) > 100_000:
+                    raise InterpreterError("call-stack overflow")
+                frame = _Frame(callee.name, callee.entry,
+                               {p.name: v for p, v in zip(callee.params, values)})
+            elif exit_.kind is ExitKind.RETURN:
+                value = (self._read(frame.regs, exit_.value)
+                         if exit_.value is not None else None)
+                if not stack:
+                    return_value = value
+                    break
+                frame = stack.pop()
+                if frame.result_reg is not None:
+                    if value is None:
+                        raise InterpreterError("void return where value expected")
+                    frame.regs[frame.result_reg] = value
+                frame.tree = frame.resume_tree
+            else:  # HALT
+                break
+
+        return RunResult(self.output, self.profile, self.steps, return_value)
+
+    def _execute_tree(self, frame: _Frame):
+        tree = self.program.functions[frame.function].trees[frame.tree]
+        regs = frame.regs
+        memory = self.memory
+        mem_trace: Optional[List[Tuple[int, int, bool]]] = (
+            [] if self.collect_profile else None)
+
+        # the taken exit counts as one step so that op-free trees (an
+        # empty infinite loop compiles to one) still consume budget
+        self.steps += len(tree.ops) + 1
+        if self.steps > self.max_steps:
+            raise InterpreterError(f"step limit exceeded ({self.max_steps})")
+
+        for op in tree.ops:
+            if not self._guard_true(regs, op.guard):
+                continue
+            opcode = op.opcode
+            if opcode is Opcode.LOAD:
+                addr = self._read(regs, op.srcs[0])
+                if isinstance(addr, int) and 0 <= addr < len(memory):
+                    regs[op.dest.name] = memory[addr]
+                    if mem_trace is not None:
+                        mem_trace.append((op.op_id, addr, False))
+                elif self.strict_memory:
+                    self._check_addr(addr)
+                else:
+                    # speculated loads never fault (paper Sections 4.1/4.6):
+                    # out-of-range reads return a junk value that only a
+                    # cancelled path could consume
+                    regs[op.dest.name] = (0.0 if op.dest.type == FLOAT else 0)
+            elif opcode is Opcode.STORE:
+                value = self._read(regs, op.srcs[0])
+                addr = self._read(regs, op.srcs[1])
+                self._check_addr(addr)
+                memory[addr] = value
+                if mem_trace is not None:
+                    mem_trace.append((op.op_id, addr, True))
+            elif opcode is Opcode.PRINT:
+                self.output.append(self._read(regs, op.srcs[0]))
+            elif opcode is Opcode.SELECT:
+                cond = self._read(regs, op.srcs[0])
+                picked = op.srcs[1] if cond else op.srcs[2]
+                regs[op.dest.name] = self._read(regs, picked)
+            else:
+                handler = _BINARY.get(opcode)
+                if handler is not None:
+                    regs[op.dest.name] = handler(
+                        self._read(regs, op.srcs[0]), self._read(regs, op.srcs[1]))
+                elif opcode is Opcode.FSQRT:
+                    value = self._read(regs, op.srcs[0])
+                    # speculated sqrt of a negative junk value must not trap
+                    regs[op.dest.name] = math.sqrt(value) if value >= 0 else 0.0
+                else:
+                    regs[op.dest.name] = _UNARY[opcode](
+                        self._read(regs, op.srcs[0]))
+
+        if mem_trace is not None and len(mem_trace) > 1:
+            self._record_alias_pairs(frame, mem_trace)
+
+        for exit_index, exit_ in enumerate(tree.exits):
+            if self._guard_true(regs, exit_.guard):
+                return exit_, exit_index
+        raise InterpreterError(f"tree {frame.function}.{frame.tree}: no exit taken")
+
+    def _record_alias_pairs(self, frame: _Frame,
+                            trace: List[Tuple[int, int, bool]]) -> None:
+        record = self.profile.record_pair
+        func, tree = frame.function, frame.tree
+        for i, (id_i, addr_i, store_i) in enumerate(trace):
+            for id_j, addr_j, store_j in trace[i + 1:]:
+                if store_i or store_j:
+                    record((func, tree, id_i, id_j), addr_i == addr_j)
+
+    def _check_addr(self, addr: Number) -> None:
+        if not isinstance(addr, int):
+            raise InterpreterError(f"non-integer address {addr!r}")
+        if not 0 <= addr < len(self.memory):
+            raise InterpreterError(
+                f"address {addr} out of range [0, {len(self.memory)})")
+
+
+def run_program(program: Program, args: Tuple[Number, ...] = (),
+                collect_profile: bool = True,
+                max_steps: int = 200_000_000,
+                strict_memory: bool = False) -> RunResult:
+    """Execute *program* from scratch and return its result."""
+    return Interpreter(program, max_steps=max_steps,
+                       collect_profile=collect_profile,
+                       strict_memory=strict_memory).run(args)

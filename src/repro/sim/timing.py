@@ -1,0 +1,133 @@
+"""Infinite-machine timing: the paper's first-stage simulator.
+
+Given a decision tree and its dependence graph, compute the earliest
+issue/completion time of every operation on a machine with unbounded
+functional units, and from those the per-path (per-exit) execution time
+of the tree.  Path time is the completion time of the path's exit
+branch; COMMIT arcs ensure every operation that commits on the path has
+issued by then, so an exit time is an honest tree-execution time.
+
+Timing rules (shared with the resource-constrained list scheduler):
+
+* data RAW (register or memory store->load): the consumer issues no
+  earlier than the producer completes;
+* guard RAW (conditional execution, Section 3.2): the consumer may issue
+  *before* its guard is ready but completes no earlier than one cycle
+  after the guard value is available;
+* WAR: the writer issues no earlier than the reader (register: same
+  cycle allowed; memory: next cycle);
+* memory WAW: the second store issues at least one cycle after the
+  first — the memory pipeline completes same-address writes in issue
+  order, so ordering issue slots suffices (a non-pipelined memory would
+  charge the full store latency here and make consecutive ambiguous
+  stores catastrophically serial, which Table 6-1's machine does not);
+* ORDER (serialised PRINTs) : next issues at least one cycle later;
+* COMMIT: the operation issues no later than the exit branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..ir.depgraph import Arc, ArcKind, DependenceGraph
+from ..machine.description import LifeMachine
+
+__all__ = ["TreeTiming", "issue_constraint", "infinite_machine_timing",
+           "average_time"]
+
+
+@dataclass
+class TreeTiming:
+    """Issue/completion times per graph node plus per-exit path times."""
+
+    issue: List[int]
+    completion: List[int]
+    path_times: List[int]
+
+    @property
+    def span(self) -> int:
+        """Total schedule length (last completion)."""
+        return max(self.completion) if self.completion else 0
+
+
+def issue_constraint(arc: Arc, issue: Sequence[int],
+                     completion: Sequence[int]) -> int:
+    """Earliest issue cycle of ``arc.dst`` permitted by this arc.
+
+    Guard-RAW arcs do not constrain issue at all (they constrain
+    completion; see :func:`guard_completion_floor`).
+    """
+    kind = arc.kind
+    if kind is ArcKind.REG_RAW:
+        return 0 if arc.via_guard else completion[arc.src]
+    if kind is ArcKind.MEM_RAW or kind is ArcKind.MEM_WAW:
+        # the second access waits out the first store's latency: a load
+        # needs the stored value; a same-address store commits in order
+        # (Section 4.5 prices exactly this store latency for WAW-SpD)
+        return completion[arc.src]
+    if kind is ArcKind.REG_WAR or kind is ArcKind.EXIT_ORDER:
+        return issue[arc.src]
+    if kind is ArcKind.COMMIT:
+        # a committing operation must *complete* before the tree exits:
+        # the successor tree's schedule assumes its live-in registers
+        # and the memory state are ready at its cycle 0
+        return completion[arc.src]
+    if (kind is ArcKind.REG_WAW or kind is ArcKind.MEM_WAR
+            or kind is ArcKind.ORDER):
+        return issue[arc.src] + 1
+    raise ValueError(f"unknown arc kind {kind}")
+
+
+def guard_completion_floor(node: int, preds: Sequence[Arc],
+                           completion: Sequence[int]) -> int:
+    """Earliest completion allowed by conditional execution: one cycle
+    after the latest guard-producing definition completes."""
+    floor = 0
+    for arc in preds:
+        if arc.kind is ArcKind.REG_RAW and arc.via_guard:
+            floor = max(floor, completion[arc.src] + 1)
+    return floor
+
+
+def infinite_machine_timing(graph: DependenceGraph,
+                            machine: LifeMachine,
+                            ignore_keys: Optional[frozenset] = None) -> TreeTiming:
+    """Earliest-time dataflow evaluation with unbounded resources.
+
+    ``ignore_keys`` — arc keys to pretend are absent; this is how the
+    SpD guidance heuristic evaluates Gain() (time with an ambiguous arc
+    removed) without rebuilding the graph.
+    """
+    latencies = machine.latencies
+    num_nodes = graph.num_nodes
+    issue = [0] * num_nodes
+    completion = [0] * num_nodes
+
+    for node in range(num_nodes):
+        preds = graph.preds(node)
+        if ignore_keys:
+            preds = [a for a in preds if a.key not in ignore_keys]
+        earliest = 0
+        for arc in preds:
+            earliest = max(earliest, issue_constraint(arc, issue, completion))
+        issue[node] = earliest
+        op = graph.node_op(node)
+        if op is not None:
+            done = earliest + latencies.of(op)
+            done = max(done, guard_completion_floor(node, preds, completion))
+        else:
+            done = earliest + latencies.branch
+        completion[node] = done
+
+    path_times = [completion[graph.exit_node(e)]
+                  for e in range(len(graph.tree.exits))]
+    return TreeTiming(issue, completion, path_times)
+
+
+def average_time(path_times: Sequence[int],
+                 path_probabilities: Sequence[float]) -> float:
+    """Probability-weighted average tree execution time (Section 5.3)."""
+    if len(path_times) != len(path_probabilities):
+        raise ValueError("path count mismatch")
+    return sum(t * p for t, p in zip(path_times, path_probabilities))

@@ -1,0 +1,45 @@
+"""Unit tests for the benchmark suite registry."""
+
+import pytest
+
+from repro.bench import (NRC_BENCHMARKS, REPORTED, SUITE, UNAFFECTED,
+                         benchmark_names, get_benchmark)
+
+
+class TestRegistry:
+    def test_fourteen_benchmarks(self):
+        assert len(SUITE) == 14
+
+    def test_reported_eleven(self):
+        """Table 6-2 lists eleven programs."""
+        assert len(REPORTED) == 11
+        assert set(REPORTED) <= set(SUITE)
+
+    def test_unaffected_three(self):
+        """'three of the programs were not affected by SpD at all'."""
+        assert len(UNAFFECTED) == 3
+        assert not set(UNAFFECTED) & set(REPORTED)
+
+    def test_nrc_six(self):
+        assert len(NRC_BENCHMARKS) == 6
+        assert all(SUITE[n].suite == "NRC" for n in NRC_BENCHMARKS)
+
+    def test_suite_labels(self):
+        assert SUITE["espresso"].suite == "SPEC"
+        assert SUITE["quick"].suite == "StanfInt"
+
+    def test_get_benchmark(self):
+        assert get_benchmark("fft").name == "fft"
+        with pytest.raises(KeyError):
+            get_benchmark("ghost")
+
+    def test_source_lines_positive(self):
+        for name in benchmark_names():
+            assert get_benchmark(name).source_lines > 20
+
+    def test_descriptions_match_table_6_2(self):
+        assert "Quicksort" in SUITE["quick"].description
+        assert "Eight queens" in SUITE["queen"].description
+        assert "Fast" in SUITE["fft"].description and \
+            "ourier" in SUITE["fft"].description
+        assert "Boolean function minimization" in SUITE["espresso"].description

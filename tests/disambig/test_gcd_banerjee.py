@@ -1,0 +1,118 @@
+"""Unit tests for the GCD test and Banerjee inequalities."""
+
+import pytest
+
+from repro.disambig import banerjee_test, gcd_test, subscripts_may_alias
+from repro.ir import AffineExpr
+
+
+def affine(const, **coeffs):
+    return AffineExpr(const, coeffs)
+
+
+class TestGCD:
+    def test_constant_zero_solvable(self):
+        assert gcd_test(affine(0))
+
+    def test_constant_nonzero_unsolvable(self):
+        assert not gcd_test(affine(3))
+
+    def test_divisible_constant(self):
+        # 2i + 4j = -6 has solutions (gcd 2 divides 6)
+        assert gcd_test(affine(6, i=2, j=4))
+
+    def test_indivisible_constant(self):
+        # 2i + 4j = -3: gcd 2 does not divide 3
+        assert not gcd_test(affine(3, i=2, j=4))
+
+    def test_unit_coefficient_always_solvable(self):
+        assert gcd_test(affine(7, i=1, j=100))
+
+
+class TestBanerjee:
+    def test_solution_inside_bounds(self):
+        # i - 4 = 0 with i in [1, 100]
+        assert banerjee_test(affine(-4, i=1), {"i": (1, 100)})
+
+    def test_solution_outside_bounds(self):
+        # i - 200 = 0 with i in [1, 100]
+        assert not banerjee_test(affine(-200, i=1), {"i": (1, 100)})
+
+    def test_negative_coefficient(self):
+        # -i + 5 = 0, i in [1, 4]: needs i = 5, excluded
+        assert not banerjee_test(affine(5, i=-1), {"i": (1, 4)})
+        assert banerjee_test(affine(5, i=-1), {"i": (1, 5)})
+
+    def test_two_symbols(self):
+        # i - j = 0 with disjoint ranges can never meet
+        bounds = {"i": (0, 4), "j": (10, 20)}
+        assert not banerjee_test(affine(0, i=1, j=-1), bounds)
+        bounds = {"i": (0, 10), "j": (10, 20)}
+        assert banerjee_test(affine(0, i=1, j=-1), bounds)
+
+    def test_unbounded_symbol_is_conservative(self):
+        assert banerjee_test(affine(-1000, i=1), {})
+        assert banerjee_test(affine(-1000, i=1), {"i": (None, None)})
+
+    def test_half_bounded(self):
+        # i >= 0 and i + 5 = 0 impossible
+        assert not banerjee_test(affine(5, i=1), {"i": (0, None)})
+        assert banerjee_test(affine(-5, i=1), {"i": (0, None)})
+
+
+class TestCombined:
+    def test_identical_subscripts_always_alias(self):
+        sub = affine(4, i=1)
+        assert subscripts_may_alias(sub, sub, {}) is True
+
+    def test_constant_distinct_never_alias(self):
+        assert subscripts_may_alias(affine(3), affine(4), {}) is False
+
+    def test_example_2_2(self):
+        """Paper Example 2-2: a[2i] vs a[i+4] with i in [1,100] may
+        alias (only at i = 4) — the static answer must be 'maybe'."""
+        verdict = subscripts_may_alias(
+            affine(0, i=2), affine(4, i=1), {"i": (1, 100)})
+        assert verdict is None
+
+    def test_example_2_2_with_tight_bounds(self):
+        """Same subscripts but i in [5, 100]: i = 4 excluded, provably
+        independent (Banerjee)."""
+        verdict = subscripts_may_alias(
+            affine(0, i=2), affine(4, i=1), {"i": (5, 100)})
+        assert verdict is False
+
+    def test_even_odd_gcd_disproof(self):
+        # a[2i] vs a[2i + 1]: difference 1, gcd 2 — never alias
+        verdict = subscripts_may_alias(
+            affine(0, i=2), affine(1, i=2), {})
+        assert verdict is False
+
+    def test_adjacent_elements_never_alias(self):
+        # bubble sort: a[i] vs a[i+1]
+        verdict = subscripts_may_alias(
+            affine(0, i=1), affine(1, i=1), {})
+        assert verdict is False
+
+    def test_exhaustive_agreement_on_small_domains(self):
+        """The combined test must never answer False when an integer
+        solution exists in-bounds (soundness check by enumeration)."""
+        cases = [
+            (affine(0, i=2), affine(4, i=1), {"i": (1, 10)}),
+            (affine(1, i=3), affine(0, i=2), {"i": (0, 8)}),
+            (affine(0, i=1, j=1), affine(3, i=1), {"i": (0, 5), "j": (0, 5)}),
+            (affine(2, i=4), affine(0, j=6), {"i": (0, 6), "j": (0, 6)}),
+        ]
+        for sub_a, sub_b, bounds in cases:
+            verdict = subscripts_may_alias(sub_a, sub_b, bounds)
+            syms = sorted(set(sub_a.coeffs) | set(sub_b.coeffs))
+            ranges = [range(bounds[s][0], bounds[s][1] + 1) for s in syms]
+            import itertools
+            any_hit = any(
+                sub_a.evaluate(dict(zip(syms, point)))
+                == sub_b.evaluate(dict(zip(syms, point)))
+                for point in itertools.product(*ranges))
+            if verdict is False:
+                assert not any_hit
+            if verdict is True:
+                assert any_hit

@@ -1,0 +1,146 @@
+"""Unit tests for the alias oracles behind each disambiguator."""
+
+import pytest
+
+from repro.disambig import (make_perfect_oracle, make_static_oracle,
+                            naive_oracle, static_answer)
+from repro.frontend import compile_source
+from repro.ir import (AffineExpr, AliasAnswer, MemAccess, Opcode, Operation,
+                      Region, RegionKind, build_dependence_graph)
+from repro.sim import run_program
+from repro.sim.profile import ProfileData
+
+
+def access(kind, name, const=0, bounds=None, **coeffs):
+    return MemAccess(Region(kind, name), AffineExpr(const, coeffs),
+                     bounds or {})
+
+
+class TestStaticAnswer:
+    def test_missing_information_is_maybe(self):
+        assert static_answer(None, None) is AliasAnswer.MAYBE
+        assert static_answer(MemAccess(), MemAccess()) is AliasAnswer.MAYBE
+
+    def test_disjoint_globals(self):
+        a = access(RegionKind.GLOBAL, "a", i=1)
+        b = access(RegionKind.GLOBAL, "b", i=1)
+        assert static_answer(a, b) is AliasAnswer.NO
+
+    def test_same_global_same_subscript(self):
+        a = access(RegionKind.GLOBAL, "a", 4, i=1)
+        assert static_answer(a, a) is AliasAnswer.YES
+
+    def test_same_global_gcd_disproof(self):
+        even = access(RegionKind.GLOBAL, "a", 0, i=2)
+        odd = access(RegionKind.GLOBAL, "a", 1, i=2)
+        assert static_answer(even, odd) is AliasAnswer.NO
+
+    def test_params_are_maybe(self):
+        p = access(RegionKind.PARAM, "f.a", i=1)
+        q = access(RegionKind.PARAM, "f.b", i=1)
+        assert static_answer(p, q) is AliasAnswer.MAYBE
+
+    def test_same_param_subscript_test_applies(self):
+        """Two references through the *same* parameter share a base, so
+        the affine test still works — a[i] vs a[i+1] never alias."""
+        p0 = access(RegionKind.PARAM, "f.a", 0, i=1)
+        p1 = access(RegionKind.PARAM, "f.a", 1, i=1)
+        assert static_answer(p0, p1) is AliasAnswer.NO
+
+    def test_non_affine_subscript_maybe(self):
+        known = access(RegionKind.GLOBAL, "a", i=1)
+        unknown = MemAccess(Region(RegionKind.GLOBAL, "a"), None)
+        assert static_answer(known, unknown) is AliasAnswer.MAYBE
+
+
+class TestStaticOracleInterference:
+    def test_induction_update_between_refs_degrades_answer(self):
+        """a[i] vs a[i+1] with `i = i + 1` *between* them: the symbol
+        values differ at the two references, so the subscript proof is
+        invalid and the oracle must answer MAYBE."""
+        source = """
+            int a[100];
+            int main() {
+                int i = 3;
+                a[i] = 1;
+                i = i + 1;
+                print(a[i + 1]);
+                return 0;
+            }
+        """
+        program = compile_source(source)
+        tree = next(t for _f, t in program.all_trees()
+                    if any(op.is_store for op in t.ops))
+        oracle = make_static_oracle(tree)
+        store = next(op for op in tree.ops if op.is_store)
+        load = next(op for op in tree.ops if op.is_load)
+        assert oracle(store, load) is AliasAnswer.MAYBE
+
+    def test_no_interference_keeps_answer(self):
+        source = """
+            int a[100];
+            int main() {
+                int i = 3;
+                a[i] = 1;
+                print(a[i + 1]);
+                return 0;
+            }
+        """
+        program = compile_source(source)
+        tree = next(t for _f, t in program.all_trees()
+                    if any(op.is_store for op in t.ops))
+        oracle = make_static_oracle(tree)
+        store = next(op for op in tree.ops if op.is_store)
+        load = next(op for op in tree.ops if op.is_load)
+        assert oracle(store, load) is AliasAnswer.NO
+
+    def test_region_disjointness_immune_to_interference(self):
+        source = """
+            int a[100]; int b[100];
+            int main() {
+                int i = 3;
+                a[i] = 1;
+                i = i + 1;
+                print(b[i]);
+                return 0;
+            }
+        """
+        program = compile_source(source)
+        tree = next(t for _f, t in program.all_trees()
+                    if any(op.is_store for op in t.ops))
+        oracle = make_static_oracle(tree)
+        store = next(op for op in tree.ops if op.is_store)
+        load = next(op for op in tree.ops if op.is_load)
+        assert oracle(store, load) is AliasAnswer.NO
+
+
+class TestPerfectOracle:
+    def test_superfluous_arcs_removed(self, example22_program):
+        """Example 2-2's pair aliases once, so PERFECT keeps it; pairs
+        that never aliased are answered NO."""
+        profile = run_program(example22_program).profile
+        func, tree = next(
+            (f, t) for f, t in example22_program.all_trees()
+            if "for" in t.name)
+        oracle = make_perfect_oracle(func, tree, profile)
+        graph = build_dependence_graph(tree, oracle)
+        # the a[2i]/a[i+4] arc must survive (it aliased at i=4)
+        survivors = graph.memory_arcs()
+        assert survivors
+        regions = {(tree.ops[a.src].access.region.name,
+                    tree.ops[a.dst].access.region.name)
+                   for a in survivors if tree.ops[a.src].access}
+        assert ("a", "a") in regions
+
+    def test_never_coexecuted_pair_is_no(self):
+        profile = ProfileData()  # empty: nothing ever aliased
+        op_a = Operation(0, Opcode.STORE, srcs=(None, None))
+        op_b = Operation(1, Opcode.LOAD, dest=None, srcs=(None,))
+        from repro.ir import DecisionTree
+        oracle = make_perfect_oracle("f", DecisionTree("t"), profile)
+        assert oracle(op_a, op_b) is AliasAnswer.NO
+
+
+class TestNaiveOracle:
+    def test_always_maybe(self):
+        assert naive_oracle(None, None) is AliasAnswer.MAYBE

@@ -1,0 +1,163 @@
+"""Tests for the Section 7 combined multi-pair transformation."""
+
+import pytest
+
+from repro.disambig import SpDNotApplicable, apply_spd, apply_spd_combined
+from repro.ir import (ArcKind, ArrayDecl, Function, Opcode, Program,
+                      TreeBuilder, build_dependence_graph, validate_program)
+from repro.machine import machine
+from repro.sim import infinite_machine_timing, run_program
+
+
+def two_pair_program(i1, j1, i2, j2):
+    """store a[i1]; load a[j1] -> chain; store a[i2]; load a[j2] -> chain."""
+    program = Program()
+    program.globals_.append(ArrayDecl("a", "float", (16,)))
+    function = Function("main")
+    b = TreeBuilder("t0")
+    v1 = b.value(Opcode.FADD, [1.5, 0.0])
+    a1 = b.value(Opcode.ADD, [i1, 0])
+    b.store(v1, a1)
+    l1 = b.load(b.value(Opcode.ADD, [j1, 0]), "float")
+    r1 = b.value(Opcode.FMUL, [l1, 2.0])
+    v2 = b.value(Opcode.FADD, [2.5, 0.0])
+    a2 = b.value(Opcode.ADD, [i2, 0])
+    b.store(v2, a2)
+    l2 = b.load(b.value(Opcode.ADD, [j2, 0]), "float")
+    r2 = b.value(Opcode.FMUL, [l2, 4.0])
+    b.emit(Opcode.PRINT, [b.value(Opcode.FADD, [r1, r2])])
+    b.halt()
+    function.add_tree(b.tree)
+    program.add_function(function)
+    program.layout_memory()
+    return program
+
+
+def raw_arcs(tree):
+    graph = build_dependence_graph(tree)
+    return [a for a in graph.ambiguous_arcs() if a.kind is ArcKind.MEM_RAW]
+
+
+class TestCombined:
+    @pytest.mark.parametrize("i1,j1,i2,j2", [
+        (1, 1, 2, 2),   # both alias
+        (1, 3, 2, 4),   # neither aliases (the fast path)
+        (1, 1, 2, 4),   # first aliases only
+        (1, 3, 2, 2),   # second aliases only
+        (1, 2, 2, 1),   # cross-aliasing (store2 hits load1's slot)
+    ])
+    def test_semantics_all_outcomes(self, i1, j1, i2, j2):
+        program = two_pair_program(i1, j1, i2, j2)
+        reference = run_program(program.copy(), strict_memory=True)
+        tree = program.functions["main"].trees["t0"]
+        arcs = raw_arcs(tree)
+        assert len(arcs) >= 2
+        apply_spd_combined(tree, arcs)
+        validate_program(program)
+        result = run_program(program, strict_memory=True)
+        assert reference.output_equal(result), (reference.output,
+                                                result.output)
+
+    def test_cost_linear_in_pairs(self):
+        """n compares + (n-1) ORs + one cone copy — not 2^n versions."""
+        program = two_pair_program(1, 3, 2, 4)
+        tree = program.functions["main"].trees["t0"]
+        base = len(tree.ops)
+        arcs = raw_arcs(tree)
+        app = apply_spd_combined(tree, arcs)
+        compares = sum(1 for op in tree.ops if op.opcode is Opcode.CMP_EQ)
+        assert compares == len(arcs)
+        ors = sum(1 for op in tree.ops if op.opcode is Opcode.OR)
+        assert ors == len(arcs) - 1
+        assert app.ops_added == len(tree.ops) - base
+
+    def test_fast_loads_unconstrained_but_slow_version_bounds_tree(self):
+        """The fast copies hoist above the stores — but under pure
+        guarded execution the *slow* version still occupies the static
+        schedule, so the tree's exit time does not improve (it may pick
+        up a cycle of compare/guard overhead).  This is the measured
+        limitation of the Section 7 two-version idea: it trades the
+        2^n code blow-up for giving up the latency win unless the
+        machine takes an explicit branch on the compare (which would be
+        Nicolau's RTD, the technique the paper contrasts in Section
+        2.3).  See EXPERIMENTS.md, Ablation D."""
+        program = two_pair_program(1, 3, 2, 4)
+        tree = program.functions["main"].trees["t0"]
+        arcs = raw_arcs(tree)
+        original_load_ids = [tree.ops[a.dst].op_id for a in arcs]
+        mach = machine(None, 6)
+        before = infinite_machine_timing(
+            build_dependence_graph(tree), mach).path_times[0]
+        apply_spd_combined(tree, arcs)
+        graph = build_dependence_graph(tree)
+        timing = infinite_machine_timing(graph, mach)
+        # the fast copies issue strictly earlier than their originals
+        for load_id in set(original_load_ids):
+            orig_pos = tree.op_index(load_id)
+            copies = [i for i, op in enumerate(tree.ops)
+                      if op.is_load and op.op_id != load_id
+                      and op.srcs == tree.ops[orig_pos].srcs]
+            assert copies
+            assert min(timing.issue[c] for c in copies) \
+                < timing.issue[orig_pos]
+        # ... but the exit still waits for the slow version
+        assert timing.path_times[0] <= before + 4
+
+    def test_rejects_non_raw(self):
+        program = two_pair_program(1, 3, 2, 4)
+        tree = program.functions["main"].trees["t0"]
+        graph = build_dependence_graph(tree)
+        waw = [a for a in graph.ambiguous_arcs()
+               if a.kind is ArcKind.MEM_WAW]
+        assert waw
+        with pytest.raises(SpDNotApplicable):
+            apply_spd_combined(tree, waw[:1])
+
+    def test_rejects_empty(self):
+        program = two_pair_program(1, 3, 2, 4)
+        tree = program.functions["main"].trees["t0"]
+        with pytest.raises(SpDNotApplicable):
+            apply_spd_combined(tree, [])
+
+    def test_combined_cheaper_than_iterated(self):
+        """The point of Section 7's scheme: for the same pairs, the
+        two-version code is smaller than one-at-a-time's product."""
+        combined = two_pair_program(1, 3, 2, 4)
+        tree_c = combined.functions["main"].trees["t0"]
+        apply_spd_combined(tree_c, raw_arcs(tree_c))
+
+        iterated = two_pair_program(1, 3, 2, 4)
+        tree_i = iterated.functions["main"].trees["t0"]
+        for _ in range(2):
+            arcs = raw_arcs(tree_i)
+            if not arcs:
+                break
+            apply_spd(tree_i, arcs[0])
+        assert len(tree_c.ops) <= len(tree_i.ops)
+
+    def test_guarded_store_commit_condition(self):
+        """A guarded involved store only forces the slow version when it
+        actually commits."""
+        from repro.ir import Guard
+        program = Program()
+        program.globals_.append(ArrayDecl("a", "float", (16,)))
+        function = Function("main")
+        b = TreeBuilder("t0")
+        cond = b.value(Opcode.CMP_LT, [9, 5])   # false: store cancelled
+        v = b.value(Opcode.FADD, [7.5, 0.0])
+        addr = b.value(Opcode.ADD, [3, 0])
+        b.store(v, addr, guard=Guard(cond))
+        loaded = b.load(b.value(Opcode.ADD, [3, 0]), "float")  # same slot!
+        b.emit(Opcode.PRINT, [b.value(Opcode.FMUL, [loaded, 2.0])])
+        b.halt()
+        function.add_tree(b.tree)
+        program.add_function(function)
+        program.layout_memory()
+
+        reference = run_program(program.copy(), strict_memory=True)
+        tree = program.functions["main"].trees["t0"]
+        apply_spd_combined(tree, raw_arcs(tree))
+        validate_program(program)
+        result = run_program(program, strict_memory=True)
+        assert reference.output_equal(result)
+        assert result.output == [0.0]  # the cancelled store never lands

@@ -1,0 +1,38 @@
+"""Unit tests for table rendering."""
+
+from repro.experiments import format_percent, format_table
+
+
+class TestFormatPercent:
+    def test_positive(self):
+        assert format_percent(0.123) == "+12.3%"
+
+    def test_negative(self):
+        assert format_percent(-0.05) == "-5.0%"
+
+    def test_zero(self):
+        assert format_percent(0.0) == "+0.0%"
+
+
+class TestFormatTable:
+    def test_structure(self):
+        text = format_table("Title", ["name", "value"],
+                            [("alpha", 1), ("beta", 22)])
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "name" in lines[2] and "value" in lines[2]
+        assert "alpha" in text and "22" in text
+
+    def test_column_widths_fit_content(self):
+        text = format_table("T", ["a"], [("a-very-long-cell",)])
+        assert "a-very-long-cell" in text
+
+    def test_first_column_left_rest_right(self):
+        text = format_table("T", ["name", "n"], [("x", 5)])
+        row = text.splitlines()[-2]
+        assert row.startswith("x")
+        assert row.rstrip().endswith("5")
+
+    def test_empty_rows(self):
+        text = format_table("T", ["a", "b"], [])
+        assert "T" in text and "a" in text

@@ -1,0 +1,359 @@
+"""Behavioural tests of the whole frontend: compile then execute.
+
+Each test compiles a small tinyc program and checks its printed output
+under the reference interpreter — the same validation loop the paper's
+platform uses ("the program output ... is used to validate the
+correctness of the decision trees").
+"""
+
+import pytest
+
+from repro.frontend import CompileError, compile_source
+from repro.sim import run_program
+
+
+def outputs(source):
+    return run_program(compile_source(source)).output
+
+
+class TestArithmetic:
+    def test_integer_arithmetic(self):
+        assert outputs("""
+            int main() {
+                print(7 + 3 * 2);
+                print((7 + 3) * 2);
+                print(7 % 3);
+                print(-7 / 2);
+                print(-7 % 2);
+                return 0;
+            }
+        """) == [13, 20, 1, -3, -1]  # C truncation semantics
+
+    def test_float_arithmetic(self):
+        out = outputs("""
+            int main() {
+                print(1.5 * 2.0 + 0.25);
+                print(7.0 / 2.0);
+                return 0;
+            }
+        """)
+        assert out == [3.25, 3.5]
+
+    def test_mixed_promotion(self):
+        assert outputs("int main() { print(3 / 2); print(3 / 2.0); return 0; }") \
+            == [1, 1.5]
+
+    def test_intrinsics(self):
+        out = outputs("""
+            int main() {
+                print(sqrt(16.0));
+                print(fabs(-2.5));
+                print(sin(0.0));
+                print(cos(0.0));
+                return 0;
+            }
+        """)
+        assert out == [4.0, 2.5, 0.0, 1.0]
+
+    def test_comparisons_yield_ints(self):
+        assert outputs("int main() { print(3 < 5); print(5 < 3); return 0; }") \
+            == [1, 0]
+
+    def test_logical_operators(self):
+        assert outputs("""
+            int main() {
+                print(1 && 0);
+                print(1 || 0);
+                print(!3);
+                print(!0);
+                return 0;
+            }
+        """) == [0, 1, 0, 1]
+
+    def test_unary_minus_variable(self):
+        assert outputs("int main() { int x = 5; print(-x); return 0; }") == [-5]
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        assert outputs("""
+            int main() {
+                int x = 3;
+                if (x > 2) { print(1); } else { print(2); }
+                if (x > 5) { print(3); } else { print(4); }
+                return 0;
+            }
+        """) == [1, 4]
+
+    def test_nested_if(self):
+        assert outputs("""
+            int main() {
+                int x = 7;
+                if (x > 0) {
+                    if (x > 10) { print(1); } else { print(2); }
+                }
+                return 0;
+            }
+        """) == [2]
+
+    def test_while_loop(self):
+        assert outputs("""
+            int main() {
+                int i = 0; int s = 0;
+                while (i < 5) { s = s + i; i = i + 1; }
+                print(s);
+                return 0;
+            }
+        """) == [10]
+
+    def test_for_loop(self):
+        assert outputs("""
+            int main() {
+                int i; int s = 0;
+                for (i = 1; i <= 10; i = i + 1) { s = s + i; }
+                print(s);
+                return 0;
+            }
+        """) == [55]
+
+    def test_downward_for(self):
+        assert outputs("""
+            int main() {
+                int i; int s = 0;
+                for (i = 5; i >= 1; i = i - 1) { s = s * 10 + i; }
+                print(s);
+                return 0;
+            }
+        """) == [54321]
+
+    def test_zero_trip_loop(self):
+        assert outputs("""
+            int main() {
+                int i;
+                for (i = 0; i < 0; i = i + 1) { print(99); }
+                print(1);
+                return 0;
+            }
+        """) == [1]
+
+    def test_constant_condition_folded(self):
+        assert outputs("""
+            int main() {
+                if (1) { print(1); } else { print(2); }
+                if (0) { print(3); }
+                print(4);
+                return 0;
+            }
+        """) == [1, 4]
+
+    def test_early_return(self):
+        assert outputs("""
+            int f(int x) {
+                if (x > 0) { return 1; }
+                return 2;
+            }
+            int main() { print(f(5)); print(f(-5)); return 0; }
+        """) == [1, 2]
+
+    def test_statements_after_return_are_dead(self):
+        assert outputs("""
+            int main() {
+                print(1);
+                return 0;
+                print(2);
+            }
+        """) == [1]
+
+
+class TestArrays:
+    def test_global_array_roundtrip(self):
+        assert outputs("""
+            int a[10];
+            int main() {
+                int i;
+                for (i = 0; i < 10; i = i + 1) { a[i] = i * i; }
+                print(a[7]);
+                return 0;
+            }
+        """) == [49]
+
+    def test_2d_array(self):
+        assert outputs("""
+            int g[3][4];
+            int main() {
+                int i; int j;
+                for (i = 0; i < 3; i = i + 1) {
+                    for (j = 0; j < 4; j = j + 1) { g[i][j] = 10 * i + j; }
+                }
+                print(g[2][3]);
+                print(g[0][1]);
+                return 0;
+            }
+        """) == [23, 1]
+
+    def test_local_array(self):
+        assert outputs("""
+            int main() {
+                float buf[4];
+                buf[2] = 1.5;
+                print(buf[2]);
+                return 0;
+            }
+        """) == [1.5]
+
+    def test_memory_zero_initialised(self):
+        assert outputs("int a[4]; int main() { print(a[3]); return 0; }") == [0]
+
+    def test_index_expression(self):
+        assert outputs("""
+            int a[10];
+            int main() {
+                int i = 2;
+                a[2 * i + 1] = 42;
+                print(a[5]);
+                return 0;
+            }
+        """) == [42]
+
+    def test_indirect_index(self):
+        """Address read out of another memory location (paper Sec. 2.1)."""
+        assert outputs("""
+            int ind[4];
+            int data[10];
+            int main() {
+                ind[0] = 7;
+                data[7] = 11;
+                print(data[ind[0]]);
+                return 0;
+            }
+        """) == [11]
+
+
+class TestFunctions:
+    def test_scalar_args_by_value(self):
+        assert outputs("""
+            void f(int x) { x = x + 1; }
+            int main() { int y = 5; f(y); print(y); return 0; }
+        """) == [5]
+
+    def test_array_args_by_reference(self):
+        assert outputs("""
+            int a[4];
+            void f(int b[]) { b[1] = 99; }
+            int main() { f(a); print(a[1]); return 0; }
+        """) == [99]
+
+    def test_2d_array_parameter(self):
+        assert outputs("""
+            int g[3][4];
+            void f(int m[][4]) { m[1][2] = 7; }
+            int main() { f(g); print(g[1][2]); return 0; }
+        """) == [7]
+
+    def test_recursion(self):
+        assert outputs("""
+            int fib(int n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            int main() { print(fib(10)); return 0; }
+        """) == [55]
+
+    def test_nested_calls_in_expression(self):
+        assert outputs("""
+            int inc(int x) { return x + 1; }
+            int main() { print(inc(inc(inc(0)))); return 0; }
+        """) == [3]
+
+    def test_call_in_condition(self):
+        assert outputs("""
+            int f(int x) { return x * 2; }
+            int main() {
+                int i = 0;
+                while (f(i) < 6) { i = i + 1; }
+                print(i);
+                return 0;
+            }
+        """) == [3]
+
+    def test_two_calls_in_one_expression(self):
+        assert outputs("""
+            int one() { return 1; }
+            int two() { return 2; }
+            int main() { print(one() + two() * 10); return 0; }
+        """) == [21]
+
+    def test_void_call_statement(self):
+        assert outputs("""
+            int a[1];
+            void bump() { a[0] = a[0] + 1; }
+            int main() { bump(); bump(); print(a[0]); return 0; }
+        """) == [2]
+
+    def test_float_return_conversion(self):
+        assert outputs("""
+            float half(int x) { return x / 2.0; }
+            int main() { print(half(5)); return 0; }
+        """) == [2.5]
+
+
+class TestScoping:
+    def test_shadowing(self):
+        assert outputs("""
+            int main() {
+                int x = 1;
+                { int x = 2; print(x); }
+                print(x);
+                return 0;
+            }
+        """) == [2, 1]
+
+    def test_for_scope(self):
+        assert outputs("""
+            int main() {
+                int i = 100;
+                for (int i = 0; i < 3; i = i + 1) { print(i); }
+                print(i);
+                return 0;
+            }
+        """) == [0, 1, 2, 100]
+
+
+class TestErrors:
+    def test_undeclared_identifier(self):
+        with pytest.raises(CompileError, match="undeclared"):
+            compile_source("int main() { x = 1; return 0; }")
+
+    def test_call_undeclared_function(self):
+        with pytest.raises(CompileError, match="undeclared function"):
+            compile_source("int main() { return f(); }")
+
+    def test_wrong_arg_count(self):
+        with pytest.raises(CompileError, match="expects"):
+            compile_source("int f(int x) { return x; } "
+                           "int main() { return f(); }")
+
+    def test_scalar_passed_for_array(self):
+        with pytest.raises(CompileError, match="array expected"):
+            compile_source("void f(int a[]) {} "
+                           "int main() { int x = 0; f(x); return 0; }")
+
+    def test_assign_to_array_name(self):
+        with pytest.raises(CompileError, match="cannot assign to array"):
+            compile_source("int a[4]; int main() { a = 1; return 0; }")
+
+    def test_index_scalar(self):
+        with pytest.raises(CompileError, match="not an array"):
+            compile_source("int main() { int x = 0; x[0] = 1; return 0; }")
+
+    def test_subscript_count_mismatch(self):
+        with pytest.raises(CompileError, match="subscripts"):
+            compile_source("int g[3][4]; int main() { g[1] = 1; return 0; }")
+
+    def test_main_with_params_rejected(self):
+        with pytest.raises(CompileError, match="main"):
+            compile_source("int main(int x) { return x; }")
+
+    def test_float_modulo_rejected(self):
+        with pytest.raises(CompileError, match="float modulo"):
+            compile_source("int main() { print(1.5 % 2.0); return 0; }")

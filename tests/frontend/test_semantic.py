@@ -1,0 +1,96 @@
+"""Unit tests for semantic analysis."""
+
+import pytest
+
+from repro.frontend import CompileError, analyze, parse
+
+
+def analyze_source(source):
+    return analyze(parse(source))
+
+
+class TestSignatures:
+    def test_signatures_collected(self):
+        env = analyze_source("""
+            int f(int x) { return x; }
+            int main() { return f(1); }
+        """)
+        assert set(env.signatures) == {"f", "main"}
+        assert env.signatures["f"].return_type == "int"
+
+    def test_duplicate_function(self):
+        with pytest.raises(CompileError, match="duplicate function"):
+            analyze_source("int f() { return 0; } int f() { return 0; } "
+                           "int main() { return 0; }")
+
+    def test_duplicate_global(self):
+        with pytest.raises(CompileError, match="duplicate global"):
+            analyze_source("int a[2]; int a[3]; int main() { return 0; }")
+
+    def test_duplicate_parameter(self):
+        with pytest.raises(CompileError, match="duplicate parameter"):
+            analyze_source("int f(int x, int x) { return 0; } "
+                           "int main() { return 0; }")
+
+    def test_intrinsic_shadowing_rejected(self):
+        with pytest.raises(CompileError, match="shadows an intrinsic"):
+            analyze_source("float sqrt(float x) { return x; } "
+                           "int main() { return 0; }")
+
+    def test_main_required(self):
+        with pytest.raises(CompileError, match="no main"):
+            analyze_source("int f() { return 0; }")
+
+
+class TestLocalArrays:
+    def test_collected_including_nested(self):
+        env = analyze_source("""
+            int main() {
+                int a[4];
+                if (1) { float b[8]; }
+                return 0;
+            }
+        """)
+        assert set(env.local_arrays["main"]) == {"a", "b"}
+        assert env.local_arrays["main"]["b"] == ("float", (8,))
+
+    def test_duplicate_local_array(self):
+        with pytest.raises(CompileError, match="duplicate local array"):
+            analyze_source("int main() { int a[4]; int a[8]; return 0; }")
+
+
+class TestRecursion:
+    def test_direct_recursion_detected(self):
+        env = analyze_source("""
+            int f(int n) { if (n > 0) { return f(n - 1); } return 0; }
+            int main() { return f(3); }
+        """)
+        assert "f" in env.recursive
+        assert "main" not in env.recursive
+
+    def test_mutual_recursion_detected(self):
+        env = analyze_source("""
+            int g(int n);
+            int f(int n) { return g(n); }
+            int g(int n) { if (n > 0) { return f(n - 1); } return 0; }
+            int main() { return f(3); }
+        """.replace("int g(int n);", ""))  # no prototypes in tinyc
+        assert env.recursive >= {"f", "g"}
+
+    def test_recursive_function_with_local_array_rejected(self):
+        with pytest.raises(CompileError, match="recursive"):
+            analyze_source("""
+                int f(int n) {
+                    int buf[4];
+                    if (n > 0) { return f(n - 1); }
+                    return 0;
+                }
+                int main() { return f(2); }
+            """)
+
+    def test_intrinsic_calls_not_recursion(self):
+        env = analyze_source("""
+            float f(float x) { return sqrt(x); }
+            int main() { print(f(4.0)); return 0; }
+        """)
+        assert not env.recursive

@@ -1,0 +1,162 @@
+"""Structural tests of decision-tree generation (if-conversion)."""
+
+from repro.frontend import compile_source
+from repro.ir import ExitKind, Opcode
+
+
+def trees_of(program, func="main"):
+    return {t.name: t for f, t in program.all_trees() if f == func}
+
+
+class TestTreeShapes:
+    def test_if_else_folds_into_one_tree(self):
+        """Paper Figure 4-1: BB1/BB2/BB3 become a single decision tree."""
+        program = compile_source("""
+            int a[4];
+            int main() {
+                int x = 3; int y;
+                if (x > 1) { y = 1; a[0] = 1; } else { y = 2; a[1] = 2; }
+                print(y);
+                return 0;
+            }
+        """)
+        trees = trees_of(program)
+        # one entry tree (with both arms guarded inside) plus the join tree
+        entry = trees[[n for n in trees if "entry" in n][0]]
+        guarded = [op for op in entry.ops if op.guard is not None]
+        stores = [op for op in entry.ops if op.is_store]
+        assert len(stores) == 2
+        assert all(op.guard is not None for op in stores)
+        # the two stores carry opposite-polarity guards on the same register
+        g0, g1 = (op.guard for op in stores)
+        assert g0.reg == g1.reg and g0.negate != g1.negate
+
+    def test_loop_body_is_one_tree(self):
+        program = compile_source("""
+            int a[100];
+            int main() {
+                int i;
+                for (i = 0; i < 10; i = i + 1) { a[i] = i; }
+                return 0;
+            }
+        """)
+        trees = trees_of(program)
+        loop = next(t for name, t in trees.items() if "for" in name)
+        # the back edge is a self-GOTO
+        self_gotos = [e for e in loop.exits
+                      if e.kind is ExitKind.GOTO and e.target == loop.name]
+        assert len(self_gotos) == 1
+        # the body's store lives inside the header tree, guarded by the
+        # loop condition
+        store = next(op for op in loop.ops if op.is_store)
+        assert store.guard is not None
+
+    def test_call_splits_trees(self):
+        program = compile_source("""
+            int f(int x) { return x + 1; }
+            int main() { print(f(1)); return 0; }
+        """)
+        trees = trees_of(program)
+        call_exits = [e for t in trees.values() for e in t.exits
+                      if e.kind is ExitKind.CALL]
+        assert len(call_exits) == 1
+        exit_ = call_exits[0]
+        assert exit_.callee == "f"
+        assert exit_.target in trees  # continuation tree exists
+
+    def test_speculation_leaves_pure_ops_unguarded(self):
+        """Figure 4-2: side-effect-free operations are executed
+        speculatively, above the compare."""
+        program = compile_source("""
+            float a[4];
+            int main() {
+                float y;
+                if (a[0] > 0.5) { y = a[1] * 2.0; } else { y = a[2] + 1.0; }
+                print(y);
+                return 0;
+            }
+        """)
+        entry = next(t for name, t in trees_of(program).items()
+                     if "entry" in name)
+        # loads and arithmetic from both arms: unguarded (speculated)
+        loads = [op for op in entry.ops if op.is_load]
+        assert len(loads) == 3
+        assert all(op.guard is None for op in loads)
+        muls = [op for op in entry.ops
+                if op.opcode in (Opcode.FMUL, Opcode.FADD)]
+        assert all(op.guard is None for op in muls)
+        # the two writes of y: guarded, opposite polarity
+        writes = [op for op in entry.ops
+                  if op.dest is not None and op.dest.name.startswith("v.y")]
+        assert len(writes) == 2
+        assert all(op.guard is not None for op in writes)
+
+    def test_divisions_are_guarded_not_speculated(self):
+        program = compile_source("""
+            int main() {
+                int x = 4; int d = 0; int y = 9;
+                if (x > 0) { d = y / x; }
+                print(d);
+                return 0;
+            }
+        """)
+        entry = next(t for name, t in trees_of(program).items()
+                     if "entry" in name)
+        div = next(op for op in entry.ops if op.opcode is Opcode.DIV)
+        assert div.guard is not None
+
+    def test_last_exit_unconditional(self, example22_program):
+        for _f, tree in example22_program.all_trees():
+            assert tree.exits[-1].guard is None
+
+    def test_exit_paths_carry_distinct_literals(self):
+        program = compile_source("""
+            int main() {
+                int x = 1;
+                if (x > 0) { print(1); } else { print(2); }
+                return 0;
+            }
+        """)
+        entry = next(t for name, t in trees_of(program).items()
+                     if "entry" in name)
+        paths = entry.exit_paths()
+        assert len(set(paths)) == len(paths)
+
+
+class TestNestedControl:
+    def test_nested_if_guard_conjunction(self):
+        program = compile_source("""
+            int a[4];
+            int main() {
+                int x = 3;
+                if (x > 0) {
+                    if (x > 2) { a[0] = 1; }
+                }
+                return 0;
+            }
+        """)
+        entry = next(t for name, t in trees_of(program).items()
+                     if "entry" in name)
+        store = next(op for op in entry.ops if op.is_store)
+        assert store.guard is not None
+        # the conjunction was materialised with an AND-family op
+        and_ops = [op for op in entry.ops
+                   if op.opcode in (Opcode.AND, Opcode.ANDN, Opcode.OR)]
+        assert and_ops
+        # both branch literals recorded on the store's path
+        assert len(store.path_literals) == 2
+
+    def test_loops_inside_loops_make_separate_trees(self):
+        program = compile_source("""
+            int a[100];
+            int main() {
+                int i; int j;
+                for (i = 0; i < 5; i = i + 1) {
+                    for (j = 0; j < 5; j = j + 1) { a[5*i+j] = i + j; }
+                }
+                return 0;
+            }
+        """)
+        names = set(trees_of(program))
+        for_trees = [n for n in names if "for" in n]
+        assert len(for_trees) == 2

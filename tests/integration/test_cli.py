@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def demo_source(tmp_path):
+    path = tmp_path / "demo.tc"
+    path.write_text("""
+int a[8];
+int main() {
+    int i;
+    for (i = 0; i < 8; i = i + 1) { a[i] = i * 3; }
+    print(a[5]);
+    return 0;
+}
+""")
+    return str(path)
+
+
+class TestRun:
+    def test_runs_and_prints(self, demo_source, capsys):
+        assert main(["run", demo_source]) == 0
+        out = capsys.readouterr().out
+        assert out.strip().splitlines() == ["15"]
+
+    def test_stdin(self, capsys, monkeypatch):
+        import io
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO("int main() { print(9); return 0; }"))
+        assert main(["run", "-"]) == 0
+        assert capsys.readouterr().out.strip() == "9"
+
+
+class TestCompile:
+    def test_dumps_ir(self, demo_source, capsys):
+        assert main(["compile", demo_source]) == 0
+        out = capsys.readouterr().out
+        assert "func main" in out
+        assert "store" in out and "load" in out
+
+    def test_graft_flag(self, demo_source, capsys):
+        assert main(["compile", demo_source, "--graft"]) == 0
+        assert "func main" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_all_disambiguators_reported(self, demo_source, capsys):
+        assert main(["analyze", demo_source, "--fus", "4",
+                     "--memory", "2"]) == 0
+        out = capsys.readouterr().out
+        for word in ("naive", "static", "spec", "perfect", "cycles"):
+            assert word in out
+
+    def test_infinite_machine(self, demo_source, capsys):
+        assert main(["analyze", demo_source, "--fus", "0"]) == 0
+        assert "life-inffu" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_known_benchmark(self, capsys):
+        assert main(["bench", "perm", "--memory", "2"]) == 0
+        assert "perm" in capsys.readouterr().out
+
+    def test_unknown_benchmark(self, capsys):
+        assert main(["bench", "nonesuch"]) == 2
+
+
+class TestListAndReport:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "quick" in out and "espresso" in out
+
+    def test_report_table6_1(self, capsys):
+        assert main(["report", "table6_1"]) == 0
+        assert "Integer multiplies" in capsys.readouterr().out
+
+
+class TestSchedule:
+    def test_schedule_dump(self, demo_source, capsys):
+        assert main(["schedule", demo_source, "--fus", "2",
+                     "--memory", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "slot0" in out and "cycle" in out
+
+    def test_schedule_spec_and_filter(self, demo_source, capsys):
+        assert main(["schedule", demo_source, "--fus", "2", "--spec",
+                     "--tree", "for"]) == 0
+        out = capsys.readouterr().out
+        assert "(spec)" in out
+
+    def test_schedule_rejects_infinite(self, demo_source, capsys):
+        assert main(["schedule", demo_source, "--fus", "0"]) == 2

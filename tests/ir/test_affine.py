@@ -1,0 +1,74 @@
+"""Unit tests for affine subscript expressions."""
+
+import pytest
+
+from repro.ir import AffineExpr
+
+
+class TestConstruction:
+    def test_zero_coefficients_dropped(self):
+        expr = AffineExpr(1, {"i": 0, "j": 2})
+        assert expr.symbols() == frozenset({"j"})
+
+    def test_constant_expression(self):
+        assert AffineExpr(5).is_constant
+        assert not AffineExpr(5, {"i": 1}).is_constant
+
+
+class TestAlgebra:
+    def test_add(self):
+        a = AffineExpr(1, {"i": 2})
+        b = AffineExpr(3, {"i": -2, "j": 1})
+        result = a.add(b)
+        assert result.const == 4
+        assert result.coeffs == {"j": 1}  # i cancels
+
+    def test_sub_self_is_zero(self):
+        a = AffineExpr(7, {"i": 3, "j": -1})
+        diff = a.sub(a)
+        assert diff.is_constant and diff.const == 0
+
+    def test_scale(self):
+        a = AffineExpr(2, {"i": 3})
+        scaled = a.scale(-2)
+        assert scaled.const == -4
+        assert scaled.coeffs == {"i": -6}
+
+    def test_scale_by_zero(self):
+        assert AffineExpr(2, {"i": 3}).scale(0) == AffineExpr(0)
+
+    def test_mul_const_times_linear(self):
+        const = AffineExpr(4)
+        linear = AffineExpr(1, {"i": 2})
+        assert const.mul(linear) == AffineExpr(4, {"i": 8})
+        assert linear.mul(const) == AffineExpr(4, {"i": 8})
+
+    def test_mul_linear_times_linear_is_not_affine(self):
+        linear = AffineExpr(0, {"i": 1})
+        assert linear.mul(linear) is None
+
+
+class TestEvaluate:
+    def test_evaluate(self):
+        expr = AffineExpr(4, {"i": 2, "j": -1})
+        assert expr.evaluate({"i": 3, "j": 5}) == 4 + 6 - 5
+
+    def test_evaluate_add_homomorphism(self):
+        a = AffineExpr(1, {"i": 2})
+        b = AffineExpr(2, {"j": 3})
+        env = {"i": 7, "j": -2}
+        assert a.add(b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+    def test_missing_symbol_raises(self):
+        with pytest.raises(KeyError):
+            AffineExpr(0, {"i": 1}).evaluate({})
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        assert AffineExpr(1, {"i": 2}) == AffineExpr(1, {"i": 2, "j": 0})
+
+    def test_hashable_after_cleaning(self):
+        # frozen dataclass with dict field: equality works, and the
+        # cleaned coeffs make logically-equal expressions compare equal
+        assert AffineExpr(0, {}) == AffineExpr(0, {"i": 0})

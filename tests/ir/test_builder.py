@@ -1,0 +1,83 @@
+"""Unit tests for the fluent tree builder."""
+
+from repro.ir import (BOOL, Constant, ExitKind, FLOAT, Guard, Opcode,
+                      Register, TreeBuilder, validate_tree)
+
+
+class TestEmission:
+    def test_value_allocates_typed_temp(self):
+        b = TreeBuilder("t")
+        result = b.value(Opcode.FADD, [1.0, 2.0])
+        assert result.type == FLOAT
+        assert b.tree.ops[-1].dest == result
+
+    def test_compare_produces_bool(self):
+        b = TreeBuilder("t")
+        result = b.value(Opcode.CMP_LT, [1, 2])
+        assert result.type == BOOL
+
+    def test_numbers_become_constants(self):
+        b = TreeBuilder("t")
+        b.value(Opcode.ADD, [1, 2.5])
+        op = b.tree.ops[-1]
+        assert op.srcs == (Constant(1), Constant(2.5))
+
+    def test_store_has_no_dest(self):
+        b = TreeBuilder("t")
+        op = b.store(1.5, 100)
+        assert op.dest is None and op.is_store
+
+    def test_assign_picks_mov_flavour(self):
+        b = TreeBuilder("t")
+        assert b.assign(Register("v.x"), 1).opcode is Opcode.MOV
+        assert b.assign(Register("v.y", FLOAT), 1.0).opcode is Opcode.FMOV
+
+
+class TestGuardContext:
+    def test_guard_applies_to_side_effects(self):
+        b = TreeBuilder("t")
+        cond = b.value(Opcode.CMP_LT, [1, 2])
+        b.set_guard(Guard(cond))
+        store = b.store(1.0, 100)
+        assert store.guard == Guard(cond)
+        assert store.path_literals == frozenset({(cond.name, True)})
+
+    def test_speculated_value_ignores_guard(self):
+        b = TreeBuilder("t")
+        cond = b.value(Opcode.CMP_LT, [1, 2])
+        b.set_guard(Guard(cond))
+        temp = b.value(Opcode.ADD, [1, 2])
+        op = b.tree.ops[-1]
+        assert op.guard is None and op.path_literals == frozenset()
+
+    def test_clearing_guard(self):
+        b = TreeBuilder("t")
+        cond = b.value(Opcode.CMP_LT, [1, 2])
+        b.set_guard(Guard(cond))
+        b.set_guard(None)
+        assert b.store(1.0, 100).guard is None
+
+
+class TestExits:
+    def test_exit_kinds(self):
+        b = TreeBuilder("t")
+        cond = b.value(Opcode.CMP_LT, [1, 2])
+        b.goto("t2", guard=Guard(cond))
+        b.call("f", [1, 2], target="t3", result=Register("v.r"))
+        b.ret(0)
+        assert [e.kind for e in b.tree.exits] == [
+            ExitKind.GOTO, ExitKind.CALL, ExitKind.RETURN]
+
+    def test_exit_path_literals_extend_guard(self):
+        b = TreeBuilder("t")
+        cond = b.value(Opcode.CMP_LT, [1, 2])
+        exit_ = b.goto("t2", guard=Guard(cond))
+        assert (cond.name, True) in exit_.path_literals
+
+    def test_valid_tree_from_builder(self):
+        b = TreeBuilder("t")
+        addr = b.value(Opcode.ADD, [Register("v.i"), 100])
+        loaded = b.load(addr, FLOAT)
+        b.emit(Opcode.PRINT, [loaded])
+        b.halt()
+        validate_tree(b.tree)

@@ -1,0 +1,127 @@
+"""Unit tests for the symbolic guard-disjointness analysis."""
+
+from repro.ir import (BOOL, Constant, Guard, Opcode, Operation, Register)
+from repro.ir.guard_analysis import GuardAnalysis
+from repro.ir.tree import DecisionTree
+
+
+def bool_reg(name):
+    return Register(name, BOOL)
+
+
+def build_tree(ops):
+    tree = DecisionTree("t")
+    for op in ops:
+        tree.append(op)
+    return tree
+
+
+def cmp_op(op_id, dest):
+    return Operation(op_id, Opcode.CMP_LT, dest=dest,
+                     srcs=(Constant(1), Constant(2)))
+
+
+class TestAtomicGuards:
+    def test_same_atom_opposite_polarity(self):
+        c = bool_reg("c")
+        tree = build_tree([cmp_op(0, c)])
+        analysis = GuardAnalysis(tree)
+        assert analysis.disjoint(Guard(c), Guard(c, True))
+        assert not analysis.disjoint(Guard(c), Guard(c))
+
+    def test_unrelated_atoms(self):
+        c, d = bool_reg("c"), bool_reg("d")
+        tree = build_tree([cmp_op(0, c), cmp_op(1, d)])
+        analysis = GuardAnalysis(tree)
+        assert not analysis.disjoint(Guard(c), Guard(d, True))
+
+    def test_none_guard_not_disjoint(self):
+        c = bool_reg("c")
+        tree = build_tree([cmp_op(0, c)])
+        analysis = GuardAnalysis(tree)
+        assert not analysis.disjoint(None, Guard(c))
+
+
+class TestConjunctions:
+    def make(self):
+        """ce = cmp; g = cmp2; a = AND(ce, g); b = ANDN(g, ce)."""
+        ce, g = bool_reg("ce"), bool_reg("g")
+        a, b = bool_reg("a"), bool_reg("b")
+        tree = build_tree([
+            cmp_op(0, ce),
+            cmp_op(1, g),
+            Operation(2, Opcode.AND, dest=a, srcs=(ce, g)),
+            Operation(3, Opcode.ANDN, dest=b, srcs=(g, ce)),
+        ])
+        return GuardAnalysis(tree), ce, g, a, b
+
+    def test_and_vs_andn_complementary(self):
+        """The SpD alias/no-alias guard pair for a guarded store:
+        (ce AND g) is disjoint from (g AND NOT ce)."""
+        analysis, _ce, _g, a, b = self.make()
+        assert analysis.disjoint(Guard(a), Guard(b))
+
+    def test_conjunction_vs_literal(self):
+        analysis, ce, _g, a, _b = self.make()
+        assert analysis.disjoint(Guard(a), Guard(ce, True))
+        assert not analysis.disjoint(Guard(a), Guard(ce))
+
+    def test_conjunction_not_disjoint_with_its_parts(self):
+        analysis, ce, g, a, _b = self.make()
+        assert not analysis.disjoint(Guard(a), Guard(g))
+
+
+class TestNegatedOr:
+    def test_de_morgan(self):
+        """NOT (g OR ce) == (NOT g AND NOT ce), disjoint from (ce AND ...)."""
+        ce, g = bool_reg("ce"), bool_reg("g")
+        u, a = bool_reg("u"), bool_reg("a")
+        tree = build_tree([
+            cmp_op(0, ce),
+            cmp_op(1, g),
+            Operation(2, Opcode.OR, dest=u, srcs=(g, ce)),
+            Operation(3, Opcode.ANDN, dest=a, srcs=(ce, g)),  # ce AND NOT g
+        ])
+        analysis = GuardAnalysis(tree)
+        # NOT(g OR ce) contains the literal NOT ce; a contains ce
+        assert analysis.disjoint(Guard(u, True), Guard(a))
+        # but NOT(g OR ce) is not disjoint from plain NOT ce
+        assert not analysis.disjoint(Guard(u, True), Guard(ce, True))
+
+
+class TestNot:
+    def test_not_decomposed(self):
+        c, n = bool_reg("c"), bool_reg("n")
+        tree = build_tree([
+            cmp_op(0, c),
+            Operation(1, Opcode.NOT, dest=n, srcs=(c,)),
+        ])
+        analysis = GuardAnalysis(tree)
+        assert analysis.disjoint(Guard(n), Guard(c))
+        assert not analysis.disjoint(Guard(n), Guard(c, True))
+
+
+class TestOpaqueDefinitions:
+    def test_multiply_defined_register_is_opaque(self):
+        """Two defs of the same bool register: no disjointness claims —
+        the two guard reads may see different values."""
+        c = bool_reg("c")
+        tree = build_tree([cmp_op(0, c), cmp_op(1, c)])
+        analysis = GuardAnalysis(tree)
+        assert not analysis.disjoint(Guard(c), Guard(c, True))
+
+    def test_guarded_definition_is_opaque(self):
+        c, g = bool_reg("c"), bool_reg("g")
+        tree = build_tree([
+            cmp_op(0, g),
+            Operation(1, Opcode.CMP_LT, dest=c,
+                      srcs=(Constant(1), Constant(2)), guard=Guard(g)),
+        ])
+        analysis = GuardAnalysis(tree)
+        assert not analysis.disjoint(Guard(c), Guard(c, True))
+
+    def test_live_in_register_is_atomic(self):
+        c = bool_reg("c")
+        tree = build_tree([])  # c never defined here: treated as atom
+        analysis = GuardAnalysis(tree)
+        assert analysis.disjoint(Guard(c), Guard(c, True))

@@ -1,0 +1,60 @@
+"""Unit tests for guard literals and syntactic disjointness."""
+
+import pytest
+
+from repro.ir import BOOL, Guard, INT, Register, guard_implies, guards_disjoint
+
+
+@pytest.fixture
+def c():
+    return Register("c", BOOL)
+
+
+@pytest.fixture
+def d():
+    return Register("d", BOOL)
+
+
+class TestGuard:
+    def test_requires_bool_register(self):
+        with pytest.raises(ValueError):
+            Guard(Register("x", INT))
+
+    def test_inverted_flips_polarity(self, c):
+        guard = Guard(c)
+        assert guard.inverted() == Guard(c, negate=True)
+        assert guard.inverted().inverted() == guard
+
+    def test_equality(self, c):
+        assert Guard(c) == Guard(c, False)
+        assert Guard(c) != Guard(c, True)
+
+
+class TestDisjointness:
+    def test_same_register_opposite_polarity(self, c):
+        assert guards_disjoint(Guard(c), Guard(c, True))
+        assert guards_disjoint(Guard(c, True), Guard(c))
+
+    def test_same_guard_not_disjoint(self, c):
+        assert not guards_disjoint(Guard(c), Guard(c))
+
+    def test_different_registers_not_disjoint(self, c, d):
+        assert not guards_disjoint(Guard(c), Guard(d, True))
+
+    def test_none_never_disjoint(self, c):
+        assert not guards_disjoint(None, Guard(c))
+        assert not guards_disjoint(Guard(c), None)
+        assert not guards_disjoint(None, None)
+
+
+class TestImplication:
+    def test_everything_implies_none(self, c):
+        assert guard_implies(Guard(c), None)
+        assert guard_implies(None, None)
+
+    def test_none_implies_nothing_guarded(self, c):
+        assert not guard_implies(None, Guard(c))
+
+    def test_guard_implies_itself(self, c):
+        assert guard_implies(Guard(c), Guard(c))
+        assert not guard_implies(Guard(c), Guard(c, True))

@@ -1,0 +1,69 @@
+"""Unit tests for memory regions and access descriptions."""
+
+from repro.ir import AffineExpr, MemAccess, Region, RegionKind
+
+
+def region(kind, name):
+    return Region(kind, name)
+
+
+class TestRegionDisjointness:
+    def test_distinct_globals_disjoint(self):
+        a = region(RegionKind.GLOBAL, "a")
+        b = region(RegionKind.GLOBAL, "b")
+        assert a.definitely_disjoint(b)
+        assert b.definitely_disjoint(a)
+
+    def test_same_global_not_disjoint(self):
+        a = region(RegionKind.GLOBAL, "a")
+        assert not a.definitely_disjoint(a)
+
+    def test_global_vs_local_disjoint(self):
+        a = region(RegionKind.GLOBAL, "a")
+        loc = region(RegionKind.LOCAL, "f.buf")
+        assert a.definitely_disjoint(loc)
+
+    def test_param_never_disjoint(self):
+        """A parameter may be bound to any array — the root cause of the
+        NRC benchmarks defeating static disambiguation."""
+        p = region(RegionKind.PARAM, "f.a")
+        g = region(RegionKind.GLOBAL, "a")
+        assert not p.definitely_disjoint(g)
+        assert not g.definitely_disjoint(p)
+        assert not p.definitely_disjoint(region(RegionKind.PARAM, "f.b"))
+
+
+class TestRegionSameBase:
+    def test_same_global_same_base(self):
+        a = region(RegionKind.GLOBAL, "a")
+        assert a.definitely_same_base(a)
+
+    def test_same_param_same_base(self):
+        p = region(RegionKind.PARAM, "f.a")
+        assert p.definitely_same_base(Region(RegionKind.PARAM, "f.a"))
+
+    def test_different_params_not_same_base(self):
+        p = region(RegionKind.PARAM, "f.a")
+        q = region(RegionKind.PARAM, "f.b")
+        assert not p.definitely_same_base(q)
+
+    def test_unknown_region_never_same_base(self):
+        u = region(RegionKind.UNKNOWN, "?")
+        assert not u.definitely_same_base(u)
+
+
+class TestMemAccess:
+    def test_analyzable_requires_region_and_subscript(self):
+        r = region(RegionKind.GLOBAL, "a")
+        sub = AffineExpr(0, {"i": 1})
+        assert MemAccess(r, sub).is_analyzable
+        assert not MemAccess(None, sub).is_analyzable
+        assert not MemAccess(r, None).is_analyzable
+        assert not MemAccess().is_analyzable
+
+    def test_bounds_copied(self):
+        bounds = {"i": (0, 9)}
+        access = MemAccess(region(RegionKind.GLOBAL, "a"),
+                           AffineExpr(0, {"i": 1}), bounds)
+        bounds["i"] = (0, 99)
+        assert access.bounds["i"] == (0, 9)

@@ -1,0 +1,99 @@
+"""Unit tests for IR operations."""
+
+import pytest
+
+from repro.ir import (BOOL, Constant, FLOAT, Guard, OpCategory, Opcode,
+                      Operation, Register)
+
+
+def op(opcode, dest=None, srcs=(), guard=None):
+    return Operation(0, opcode, dest=dest, srcs=tuple(srcs), guard=guard)
+
+
+class TestCategories:
+    @pytest.mark.parametrize("opcode,category", [
+        (Opcode.MUL, OpCategory.INT_MUL),
+        (Opcode.DIV, OpCategory.DIVIDE),
+        (Opcode.MOD, OpCategory.DIVIDE),
+        (Opcode.FDIV, OpCategory.DIVIDE),
+        (Opcode.FCMP_LT, OpCategory.FP_COMPARE),
+        (Opcode.ADD, OpCategory.ALU),
+        (Opcode.CMP_EQ, OpCategory.ALU),
+        (Opcode.SELECT, OpCategory.ALU),
+        (Opcode.FADD, OpCategory.FPU),
+        (Opcode.FSQRT, OpCategory.FPU),
+        (Opcode.I2F, OpCategory.FPU),
+        (Opcode.LOAD, OpCategory.MEMORY),
+        (Opcode.STORE, OpCategory.MEMORY),
+        (Opcode.PRINT, OpCategory.ALU),
+    ])
+    def test_category(self, opcode, category):
+        assert op(opcode).category is category
+
+
+class TestClassification:
+    def test_memory_predicates(self):
+        assert op(Opcode.LOAD).is_memory and op(Opcode.LOAD).is_load
+        assert op(Opcode.STORE).is_memory and op(Opcode.STORE).is_store
+        assert not op(Opcode.ADD).is_memory
+
+    def test_side_effects(self):
+        assert op(Opcode.STORE).has_side_effect
+        assert op(Opcode.PRINT).has_side_effect
+        assert not op(Opcode.LOAD).has_side_effect
+        assert not op(Opcode.DIV).has_side_effect  # faults, but no state
+
+    def test_commutativity(self):
+        assert op(Opcode.ADD).is_commutative
+        assert not op(Opcode.SUB).is_commutative
+
+
+class TestOperandViews:
+    def test_load_address(self):
+        addr = Register("t0")
+        load = op(Opcode.LOAD, dest=Register("t1"), srcs=[addr])
+        assert load.address is addr
+
+    def test_store_address_and_value(self):
+        value, addr = Register("t0", FLOAT), Register("t1")
+        store = op(Opcode.STORE, srcs=[value, addr])
+        assert store.address is addr
+        assert store.store_value is value
+
+    def test_alu_has_no_address(self):
+        with pytest.raises(TypeError):
+            op(Opcode.ADD).address
+
+    def test_load_has_no_store_value(self):
+        with pytest.raises(TypeError):
+            op(Opcode.LOAD, srcs=[Register("t0")]).store_value
+
+    def test_source_registers_include_guard(self):
+        guard_reg = Register("g0", BOOL)
+        add = op(Opcode.ADD, dest=Register("t2"),
+                 srcs=[Register("t0"), Constant(1)],
+                 guard=Guard(guard_reg))
+        assert guard_reg in add.source_registers()
+        assert guard_reg not in add.data_source_registers()
+        assert Register("t0") in add.data_source_registers()
+
+    def test_constants_not_in_source_registers(self):
+        add = op(Opcode.ADD, dest=Register("t0"),
+                 srcs=[Constant(1), Constant(2)])
+        assert add.source_registers() == ()
+
+
+class TestRewriting:
+    def test_with_guard_preserves_rest(self):
+        base = op(Opcode.STORE, srcs=[Register("t0"), Register("t1")])
+        guard = Guard(Register("g0", BOOL))
+        guarded = base.with_guard(guard)
+        assert guarded.guard == guard
+        assert guarded.srcs == base.srcs
+        assert guarded.op_id == base.op_id
+        assert base.guard is None  # immutable original
+
+    def test_with_dest_and_id(self):
+        base = op(Opcode.ADD, dest=Register("t0"), srcs=[Constant(1), Constant(2)])
+        assert base.with_dest(Register("t9")).dest == Register("t9")
+        assert base.with_id(42).op_id == 42

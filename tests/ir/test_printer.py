@@ -1,0 +1,35 @@
+"""Smoke tests for the IR printer (output is for humans; we check the
+load-bearing pieces are present)."""
+
+from repro.ir import (Guard, Opcode, Register, TreeBuilder, format_program,
+                      format_tree)
+
+
+def test_format_tree_mentions_ops_and_exits():
+    b = TreeBuilder("t0")
+    cond = b.value(Opcode.CMP_LT, [Register("v.i"), 5])
+    b.set_guard(Guard(cond))
+    b.store(1.5, 100)
+    b.set_guard(None)
+    b.halt()
+    text = format_tree(b.tree)
+    assert "tree t0:" in text
+    assert "store" in text
+    assert "halt" in text
+    assert f"[{cond.name}]" in text  # the guard is visible
+
+
+def test_negated_guard_shows_bubble():
+    b = TreeBuilder("t0")
+    cond = b.value(Opcode.CMP_LT, [Register("v.i"), 5])
+    b.set_guard(Guard(cond, negate=True))
+    b.store(1.5, 100)
+    b.halt()
+    assert f"[!{cond.name}]" in format_tree(b.tree)
+
+
+def test_format_program_lists_globals_and_functions(example22_program):
+    text = format_program(example22_program)
+    assert "global float a[300]" in text
+    assert "func main" in text
+    assert "goto" in text

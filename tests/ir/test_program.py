@@ -1,0 +1,95 @@
+"""Unit tests for programs, functions, and memory layout."""
+
+import pytest
+
+from repro.ir import (ArrayDecl, DecisionTree, ExitKind, Function, Program,
+                      TreeExit)
+
+
+def tree(name):
+    t = DecisionTree(name)
+    t.exits.append(TreeExit(kind=ExitKind.HALT))
+    return t
+
+
+class TestArrayDecl:
+    def test_words_1d(self):
+        assert ArrayDecl("a", "int", (10,)).words == 10
+
+    def test_words_2d(self):
+        assert ArrayDecl("g", "float", (4, 8)).words == 32
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("a", "int", ())
+        with pytest.raises(ValueError):
+            ArrayDecl("a", "int", (0,))
+
+
+class TestFunction:
+    def test_first_tree_becomes_entry(self):
+        f = Function("f")
+        f.add_tree(tree("f.t0"))
+        assert f.entry == "f.t0"
+
+    def test_duplicate_tree_rejected(self):
+        f = Function("f")
+        f.add_tree(tree("f.t0"))
+        with pytest.raises(ValueError):
+            f.add_tree(tree("f.t0"))
+
+    def test_size_sums_trees(self):
+        f = Function("f")
+        f.add_tree(tree("f.t0"))
+        f.add_tree(tree("f.t1"))
+        assert f.size() == 2  # one exit each
+
+
+class TestProgramLayout:
+    def make(self):
+        program = Program()
+        program.globals_.append(ArrayDecl("a", "int", (10,)))
+        program.globals_.append(ArrayDecl("b", "float", (4, 4)))
+        f = Function("main", local_arrays=[ArrayDecl("buf", "int", (8,))])
+        f.add_tree(tree("main.t0"))
+        program.add_function(f)
+        return program
+
+    def test_layout_is_disjoint_and_ordered(self):
+        program = self.make()
+        program.layout_memory()
+        assert program.layout["a"] == 0
+        assert program.layout["b"] == 10
+        assert program.layout["main.buf"] == 26
+        assert program.memory_words == 34
+
+    def test_guard_words_padding(self):
+        program = self.make()
+        program.layout_memory(guard_words=2)
+        assert program.layout["b"] == 12
+        assert program.memory_words == 10 + 2 + 16 + 2 + 8 + 2
+
+    def test_duplicate_function_rejected(self):
+        program = self.make()
+        with pytest.raises(ValueError):
+            program.add_function(Function("main"))
+
+    def test_copy_isolates_trees(self):
+        program = self.make()
+        program.layout_memory()
+        clone = program.copy()
+        clone.functions["main"].trees["main.t0"].spd_resolved.add((0, 1))
+        assert not program.functions["main"].trees["main.t0"].spd_resolved
+        assert clone.layout == program.layout
+
+    def test_all_trees_enumerates_every_function(self):
+        program = self.make()
+        g = Function("g")
+        g.add_tree(tree("g.t0"))
+        program.add_function(g)
+        keys = {(f, t.name) for f, t in program.all_trees()}
+        assert keys == {("main", "main.t0"), ("g", "g.t0")}
+
+    def test_size_is_total_ops(self):
+        program = self.make()
+        assert program.size() == 1

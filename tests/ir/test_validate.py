@@ -1,0 +1,132 @@
+"""Unit tests for IR validation."""
+
+import pytest
+
+from repro.ir import (ArrayDecl, Constant, DecisionTree, ExitKind, Function,
+                      IRValidationError, Opcode, Operation, Program, Register,
+                      TreeExit, validate_program, validate_tree)
+
+
+def halt_exit():
+    return TreeExit(kind=ExitKind.HALT)
+
+
+def tree_with(ops, exits=None):
+    tree = DecisionTree("t")
+    for op in ops:
+        tree.append(op)
+    tree.exits = exits if exits is not None else [halt_exit()]
+    return tree
+
+
+class TestOperationChecks:
+    def test_valid_tree_passes(self):
+        tree = tree_with([Operation(0, Opcode.MOV, dest=Register("t0"),
+                                    srcs=(Constant(1),))])
+        validate_tree(tree)
+
+    def test_duplicate_op_id(self):
+        ops = [Operation(0, Opcode.MOV, dest=Register("t0"), srcs=(Constant(1),)),
+               Operation(0, Opcode.MOV, dest=Register("t1"), srcs=(Constant(2),))]
+        with pytest.raises(IRValidationError, match="duplicate op_id"):
+            validate_tree(tree_with(ops))
+
+    def test_wrong_arity(self):
+        op = Operation(0, Opcode.ADD, dest=Register("t0"), srcs=(Constant(1),))
+        with pytest.raises(IRValidationError, match="expected 2 operands"):
+            validate_tree(tree_with([op]))
+
+    def test_store_must_not_have_dest(self):
+        op = Operation(0, Opcode.STORE, dest=Register("t0"),
+                       srcs=(Constant(1), Constant(2)))
+        with pytest.raises(IRValidationError, match="must not have"):
+            validate_tree(tree_with([op]))
+
+    def test_alu_requires_dest(self):
+        op = Operation(0, Opcode.ADD, srcs=(Constant(1), Constant(2)))
+        with pytest.raises(IRValidationError, match="missing destination"):
+            validate_tree(tree_with([op]))
+
+    def test_undefined_temp_read(self):
+        op = Operation(0, Opcode.MOV, dest=Register("t1"),
+                       srcs=(Register("t0.undefined"),))
+        with pytest.raises(IRValidationError, match="undefined temporary"):
+            validate_tree(tree_with([op]))
+
+    def test_variable_register_may_be_live_in(self):
+        op = Operation(0, Opcode.MOV, dest=Register("t0"),
+                       srcs=(Register("v.x"),))
+        validate_tree(tree_with([op]))
+
+    def test_explicit_live_in_set(self):
+        op = Operation(0, Opcode.MOV, dest=Register("t1"),
+                       srcs=(Register("t0"),))
+        validate_tree(tree_with([op]), live_in={Register("t0")})
+        with pytest.raises(IRValidationError):
+            validate_tree(tree_with([op]), live_in=set())
+
+
+class TestExitChecks:
+    def test_no_exits_rejected(self):
+        with pytest.raises(IRValidationError, match="no exits"):
+            validate_tree(tree_with([], exits=[]))
+
+    def test_last_exit_must_be_unconditional(self):
+        from repro.ir import BOOL, Guard
+        cond = Register("c", BOOL)
+        ops = [Operation(0, Opcode.CMP_LT, dest=cond,
+                         srcs=(Constant(1), Constant(2)))]
+        exits = [TreeExit(kind=ExitKind.HALT, guard=Guard(cond))]
+        with pytest.raises(IRValidationError, match="unconditional"):
+            validate_tree(tree_with(ops, exits))
+
+
+class TestProgramChecks:
+    def make_program(self):
+        program = Program()
+        f = Function("main")
+        f.add_tree(tree_with([]))
+        program.add_function(f)
+        return program
+
+    def test_valid_program(self):
+        validate_program(self.make_program())
+
+    def test_missing_entry_function(self):
+        program = self.make_program()
+        program.entry_function = "nope"
+        with pytest.raises(IRValidationError, match="missing entry"):
+            validate_program(program)
+
+    def test_goto_unknown_tree(self):
+        program = self.make_program()
+        tree = program.functions["main"].trees["t"]
+        tree.exits.insert(0, TreeExit(kind=ExitKind.GOTO, target="ghost"))
+        tree.exits[-1] = halt_exit()
+        with pytest.raises(IRValidationError, match="unknown target"):
+            validate_program(program)
+
+    def test_call_unknown_function(self):
+        program = self.make_program()
+        tree = program.functions["main"].trees["t"]
+        tree.exits = [TreeExit(kind=ExitKind.CALL, callee="ghost", target="t")]
+        with pytest.raises(IRValidationError, match="unknown callee"):
+            validate_program(program)
+
+    def test_call_arity_mismatch(self):
+        program = self.make_program()
+        g = Function("g", params=[Register("p.x")])
+        g.add_tree(tree_with([], exits=[TreeExit(kind=ExitKind.RETURN)]))
+        program.add_function(g)
+        tree = program.functions["main"].trees["t"]
+        tree.exits = [TreeExit(kind=ExitKind.CALL, callee="g", target="t",
+                               args=())]
+        with pytest.raises(IRValidationError, match="args"):
+            validate_program(program)
+
+    def test_layout_coverage(self):
+        program = self.make_program()
+        program.globals_.append(ArrayDecl("a", "int", (4,)))
+        program.layout = {"bogus": 0}  # a missing
+        with pytest.raises(IRValidationError, match="missing from layout"):
+            validate_program(program)

@@ -1,0 +1,68 @@
+"""Unit tests for IR value operands."""
+
+import pytest
+
+from repro.ir import BOOL, Constant, FLOAT, INT, Register
+from repro.ir.values import is_constant, is_register
+
+
+class TestRegister:
+    def test_equality_is_by_name_and_type(self):
+        assert Register("x") == Register("x")
+        assert Register("x") != Register("y")
+        assert Register("x", INT) != Register("x", FLOAT)
+
+    def test_hashable(self):
+        assert len({Register("x"), Register("x"), Register("y")}) == 2
+
+    def test_default_type_is_int(self):
+        assert Register("x").type == INT
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Register("")
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ValueError):
+            Register("x", "quaternion")
+
+    @pytest.mark.parametrize("name,expected", [
+        ("v.i", True), ("p.data", True), ("t3.main", False),
+        ("g0.f", False), ("v", False),
+    ])
+    def test_is_variable(self, name, expected):
+        assert Register(name).is_variable is expected
+
+    def test_bool_type_allowed(self):
+        assert Register("g0", BOOL).type == BOOL
+
+
+class TestConstant:
+    def test_int_constant_type(self):
+        assert Constant(3).type == INT
+
+    def test_float_constant_type(self):
+        assert Constant(3.5).type == FLOAT
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError):
+            Constant(True)
+
+    def test_rejects_string(self):
+        with pytest.raises(ValueError):
+            Constant("x")
+
+    def test_equality_follows_numeric_value(self):
+        assert Constant(3) == Constant(3)
+        assert Constant(3) == Constant(3.0)  # Python numeric equality
+        assert Constant(3).type != Constant(3.0).type
+
+
+class TestPredicates:
+    def test_is_register(self):
+        assert is_register(Register("x"))
+        assert not is_register(Constant(1))
+
+    def test_is_constant(self):
+        assert is_constant(Constant(1))
+        assert not is_constant(Register("x"))

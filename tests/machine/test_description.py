@@ -1,0 +1,43 @@
+"""Unit tests for LIFE machine descriptions."""
+
+import pytest
+
+from repro.machine import INFINITE, LifeMachine, machine, paper_machines
+
+
+class TestConstruction:
+    def test_infinite_machine(self):
+        assert INFINITE.is_infinite
+        assert INFINITE.num_fus is None
+
+    def test_machine_helper(self):
+        five = machine(5, 6)
+        assert five.num_fus == 5
+        assert five.memory_latency == 6
+        assert not five.is_infinite
+
+    def test_custom_memory_latency(self):
+        assert machine(2, 4).memory_latency == 4
+
+    def test_rejects_zero_fus(self):
+        with pytest.raises(ValueError):
+            LifeMachine(num_fus=0)
+
+    def test_auto_name(self):
+        assert machine(5, 6).name == "life-5fu-mem6"
+        assert machine(None, 2).name == "life-inffu-mem2"
+
+    def test_with_fus(self):
+        infinite = machine(5, 6).with_fus(None)
+        assert infinite.is_infinite
+        assert infinite.memory_latency == 6
+
+
+class TestPaperSweep:
+    def test_eight_widths(self):
+        sweep = paper_machines(2)
+        assert [m.num_fus for m in sweep] == list(range(1, 9))
+        assert all(m.memory_latency == 2 for m in sweep)
+
+    def test_sweep_memory_latency(self):
+        assert all(m.memory_latency == 6 for m in paper_machines(6))

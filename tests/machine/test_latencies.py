@@ -1,0 +1,49 @@
+"""Unit tests for the Table 6-1 latency model."""
+
+import pytest
+
+from repro.ir import Opcode, Operation
+from repro.machine import LatencyTable, TABLE_6_1_MEM2, TABLE_6_1_MEM6
+
+
+def op(opcode):
+    return Operation(0, opcode)
+
+
+class TestTable61Values:
+    """The published latencies (paper Table 6-1)."""
+
+    @pytest.mark.parametrize("opcode,cycles", [
+        (Opcode.MUL, 3),
+        (Opcode.DIV, 7), (Opcode.MOD, 7), (Opcode.FDIV, 7),
+        (Opcode.FCMP_LT, 1), (Opcode.FCMP_EQ, 1),
+        (Opcode.ADD, 1), (Opcode.CMP_EQ, 1), (Opcode.AND, 1),
+        (Opcode.SELECT, 1), (Opcode.PRINT, 1),
+        (Opcode.FADD, 3), (Opcode.FMUL, 3), (Opcode.FSQRT, 3),
+        (Opcode.I2F, 3),
+        (Opcode.LOAD, 2), (Opcode.STORE, 2),
+    ])
+    def test_mem2_latencies(self, opcode, cycles):
+        assert TABLE_6_1_MEM2.of(op(opcode)) == cycles
+
+    def test_memory_latency_configurations(self):
+        assert TABLE_6_1_MEM2.of(op(Opcode.LOAD)) == 2
+        assert TABLE_6_1_MEM6.of(op(Opcode.LOAD)) == 6
+        assert TABLE_6_1_MEM6.of(op(Opcode.STORE)) == 6
+
+    def test_branch_latency(self):
+        assert TABLE_6_1_MEM2.branch == 2
+
+    def test_non_memory_latencies_shared(self):
+        for opcode in (Opcode.MUL, Opcode.DIV, Opcode.FADD, Opcode.ADD):
+            assert TABLE_6_1_MEM2.of(op(opcode)) == TABLE_6_1_MEM6.of(op(opcode))
+
+
+class TestCustomTables:
+    def test_custom_memory(self):
+        table = LatencyTable(memory=4)
+        assert table.of(op(Opcode.LOAD)) == 4
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ValueError):
+            LatencyTable(alu=0)

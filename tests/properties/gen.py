@@ -1,0 +1,138 @@
+"""Hypothesis generators: random (but always well-formed and safe)
+tinyc programs, and random decision trees.
+
+Safety rules baked into the generator so that any drawn program runs
+without runtime errors under the strict interpreter:
+
+* every array subscript is ``((e % N) + N) % N`` for a power-of-two N
+  (division by a non-zero constant cannot fault),
+* loops have small constant bounds,
+* no other division or modulo appears.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+ARRAY_SIZE = 16
+
+_INT_VARS = ["x0", "x1", "x2", "x3"]
+_LOOP_VARS = ["i", "j"]
+
+
+def _idx(expr: str) -> str:
+    return f"((({expr}) % {ARRAY_SIZE}) + {ARRAY_SIZE}) % {ARRAY_SIZE}"
+
+
+@st.composite
+def int_exprs(draw, depth: int = 0, vars_=None):
+    vars_ = vars_ or _INT_VARS
+    if depth >= 2:
+        choice = draw(st.integers(0, 1))
+    else:
+        choice = draw(st.integers(0, 4))
+    if choice == 0:
+        return str(draw(st.integers(-9, 9)))
+    if choice == 1:
+        return draw(st.sampled_from(vars_))
+    left = draw(int_exprs(depth + 1, vars_))
+    right = draw(int_exprs(depth + 1, vars_))
+    if choice == 2:
+        return f"({left} + {right})"
+    if choice == 3:
+        return f"({left} - {right})"
+    scale = draw(st.integers(2, 3))
+    return f"({left} * {scale})"
+
+
+@st.composite
+def conditions(draw, vars_):
+    op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+    left = draw(int_exprs(1, vars_))
+    right = draw(int_exprs(1, vars_))
+    return f"({left}) {op} ({right})"
+
+
+@st.composite
+def statements(draw, depth: int, vars_, with_calls: bool):
+    kind = draw(st.integers(0, 7 if depth < 2 else 4))
+    if kind == 0:
+        # never assign loop variables: that could make a loop diverge
+        var = draw(st.sampled_from(_INT_VARS))
+        expr = draw(int_exprs(0, vars_))
+        return f"{var} = {expr};"
+    if kind == 1:
+        idx = _idx(draw(int_exprs(1, vars_)))
+        expr = draw(int_exprs(0, vars_))
+        return f"ga[{idx}] = {expr};"
+    if kind == 2:
+        var = draw(st.sampled_from(_INT_VARS))
+        idx = _idx(draw(int_exprs(1, vars_)))
+        return f"{var} = ga[{idx}];"
+    if kind == 3:
+        expr = draw(int_exprs(0, vars_))
+        return f"print({expr});"
+    if kind == 4:
+        if with_calls:
+            a = _idx(draw(int_exprs(1, vars_)))
+            b = _idx(draw(int_exprs(1, vars_)))
+            return f"touch(ga, {a}, {b});"
+        idx = _idx(draw(int_exprs(1, vars_)))
+        return f"print(ga[{idx}]);"
+    if kind == 5:
+        cond = draw(conditions(vars_))
+        then_body = draw(blocks(depth + 1, vars_, with_calls, 1, 3))
+        if draw(st.booleans()):
+            else_body = draw(blocks(depth + 1, vars_, with_calls, 1, 2))
+            return (f"if ({cond}) {{ {then_body} }} "
+                    f"else {{ {else_body} }}")
+        return f"if ({cond}) {{ {then_body} }}"
+    if kind == 6:
+        loop_var = draw(st.sampled_from(_LOOP_VARS))
+        limit = draw(st.integers(1, 6))
+        body = draw(blocks(depth + 1, vars_ + [loop_var], with_calls, 1, 3))
+        return (f"for (int {loop_var} = 0; {loop_var} < {limit}; "
+                f"{loop_var} = {loop_var} + 1) {{ {body} }}")
+    # kind == 7: two adjacent memory statements (the SpD-relevant shape)
+    idx_a = _idx(draw(int_exprs(1, vars_)))
+    idx_b = _idx(draw(int_exprs(1, vars_)))
+    var = draw(st.sampled_from(_INT_VARS))
+    return (f"ga[{idx_a}] = {var} + 1; "
+            f"{var} = ga[{idx_b}] * 2;")
+
+
+@st.composite
+def blocks(draw, depth: int, vars_, with_calls: bool,
+           min_stmts: int, max_stmts: int):
+    count = draw(st.integers(min_stmts, max_stmts))
+    return " ".join(draw(statements(depth, vars_, with_calls))
+                    for _ in range(count))
+
+
+@st.composite
+def tinyc_programs(draw):
+    """A random, safe tinyc program exercising stores, loads, branches,
+    loops and (usually) an array-parameter helper function."""
+    with_calls = draw(st.booleans())
+    decls = "\n".join(f"int {v} = {draw(st.integers(-4, 4))};"
+                      for v in _INT_VARS)
+    body = draw(blocks(0, list(_INT_VARS), with_calls, 3, 7))
+    helper = """
+void touch(int arr[], int a, int b) {
+    arr[a] = arr[b] + 3;
+}
+""" if with_calls else ""
+    return f"""
+int ga[{ARRAY_SIZE}];
+{helper}
+int main() {{
+    {decls}
+    {body}
+    int k;
+    for (k = 0; k < {ARRAY_SIZE}; k = k + 1) {{
+        print(ga[k]);
+    }}
+    print(x0); print(x1); print(x2); print(x3);
+    return 0;
+}}
+"""

@@ -1,0 +1,57 @@
+"""Property-based tests of affine-expression algebra."""
+
+from hypothesis import given, strategies as st
+
+from repro.ir import AffineExpr
+
+symbols = st.sampled_from(["i", "j", "k", "n"])
+coeff_maps = st.dictionaries(symbols, st.integers(-20, 20), max_size=4)
+affines = st.builds(AffineExpr, st.integers(-100, 100), coeff_maps)
+envs = st.fixed_dictionaries({s: st.integers(-50, 50)
+                              for s in ["i", "j", "k", "n"]})
+
+
+@given(a=affines, b=affines, env=envs)
+def test_add_homomorphism(a, b, env):
+    assert a.add(b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+
+@given(a=affines, b=affines, env=envs)
+def test_sub_homomorphism(a, b, env):
+    assert a.sub(b).evaluate(env) == a.evaluate(env) - b.evaluate(env)
+
+
+@given(a=affines, factor=st.integers(-10, 10), env=envs)
+def test_scale_homomorphism(a, factor, env):
+    assert a.scale(factor).evaluate(env) == factor * a.evaluate(env)
+
+
+@given(a=affines, b=affines)
+def test_add_commutative(a, b):
+    assert a.add(b) == b.add(a)
+
+
+@given(a=affines, b=affines, c=affines)
+def test_add_associative(a, b, c):
+    assert a.add(b).add(c) == a.add(b.add(c))
+
+
+@given(a=affines)
+def test_sub_self_is_zero(a):
+    diff = a.sub(a)
+    assert diff.is_constant and diff.const == 0
+
+
+@given(a=affines, b=affines, env=envs)
+def test_mul_homomorphism_when_affine(a, b, env):
+    product = a.mul(b)
+    if product is not None:
+        assert product.evaluate(env) == a.evaluate(env) * b.evaluate(env)
+    else:
+        # mul only fails when both sides have symbols
+        assert a.coeffs and b.coeffs
+
+
+@given(a=affines)
+def test_no_zero_coefficients_stored(a):
+    assert all(c != 0 for c in a.coeffs.values())

@@ -1,0 +1,70 @@
+"""Property-based soundness of the GCD/Banerjee dependence tests.
+
+The tests may be imprecise (answer "maybe" when no solution exists) but
+must never be *unsound*: a NO answer with an in-bounds integer solution,
+or a YES answer without one, would make the STATIC disambiguator remove
+real dependences and corrupt schedules.
+"""
+
+import itertools
+
+from hypothesis import given, strategies as st
+
+from repro.disambig import subscripts_may_alias
+from repro.ir import AffineExpr
+
+_SYMS = ["i", "j"]
+
+bounds_strategy = st.fixed_dictionaries({
+    s: st.tuples(st.integers(-6, 3), st.integers(0, 6)).map(
+        lambda t: (min(t), max(t)))
+    for s in _SYMS
+})
+
+small_affines = st.builds(
+    AffineExpr,
+    st.integers(-12, 12),
+    st.dictionaries(st.sampled_from(_SYMS), st.integers(-4, 4), max_size=2),
+)
+
+
+def solutions_exist(sub_a, sub_b, bounds):
+    ranges = [range(bounds[s][0], bounds[s][1] + 1) for s in _SYMS]
+    for point in itertools.product(*ranges):
+        env = dict(zip(_SYMS, point))
+        if sub_a.evaluate(env) == sub_b.evaluate(env):
+            return True
+    return False
+
+
+def always_equal(sub_a, sub_b, bounds):
+    ranges = [range(bounds[s][0], bounds[s][1] + 1) for s in _SYMS]
+    return all(
+        sub_a.evaluate(dict(zip(_SYMS, point)))
+        == sub_b.evaluate(dict(zip(_SYMS, point)))
+        for point in itertools.product(*ranges))
+
+
+@given(sub_a=small_affines, sub_b=small_affines, bounds=bounds_strategy)
+def test_no_answer_is_sound(sub_a, sub_b, bounds):
+    verdict = subscripts_may_alias(sub_a, sub_b, bounds)
+    if verdict is False:
+        assert not solutions_exist(sub_a, sub_b, bounds)
+
+
+@given(sub_a=small_affines, sub_b=small_affines, bounds=bounds_strategy)
+def test_yes_answer_is_sound(sub_a, sub_b, bounds):
+    verdict = subscripts_may_alias(sub_a, sub_b, bounds)
+    if verdict is True:
+        assert always_equal(sub_a, sub_b, bounds)
+
+
+@given(sub=small_affines, bounds=bounds_strategy)
+def test_identical_subscripts_answer_yes(sub, bounds):
+    assert subscripts_may_alias(sub, sub, bounds) is True
+
+
+@given(sub_a=small_affines, sub_b=small_affines, bounds=bounds_strategy)
+def test_symmetric(sub_a, sub_b, bounds):
+    assert (subscripts_may_alias(sub_a, sub_b, bounds)
+            == subscripts_may_alias(sub_b, sub_a, bounds))

@@ -1,0 +1,96 @@
+"""Property-based soundness of GuardAnalysis.
+
+If the analysis claims two guards are disjoint, then no assignment of
+truth values to the atomic registers may satisfy both — otherwise the
+dependence builder drops real dependences between the SpD versions.
+"""
+
+import itertools
+
+from hypothesis import given, strategies as st
+
+from repro.ir import BOOL, Constant, Guard, Opcode, Operation, Register
+from repro.ir.guard_analysis import GuardAnalysis
+from repro.ir.tree import DecisionTree
+
+_ATOMS = ["a0", "a1", "a2"]
+
+
+@st.composite
+def guard_trees(draw):
+    """A tree of boolean definitions over three atoms, plus the list of
+    defined registers to pick guards from."""
+    tree = DecisionTree("t")
+    regs = []
+    for name in _ATOMS:
+        reg = Register(name, BOOL)
+        tree.append(Operation(tree.fresh_op_id(), Opcode.CMP_LT, dest=reg,
+                              srcs=(Constant(1), Constant(2))))
+        regs.append(reg)
+    for index in range(draw(st.integers(1, 4))):
+        opcode = draw(st.sampled_from(
+            [Opcode.AND, Opcode.ANDN, Opcode.OR, Opcode.NOT]))
+        dest = Register(f"d{index}", BOOL)
+        if opcode is Opcode.NOT:
+            srcs = (draw(st.sampled_from(regs)),)
+        else:
+            srcs = (draw(st.sampled_from(regs)),
+                    draw(st.sampled_from(regs)))
+        tree.append(Operation(tree.fresh_op_id(), opcode, dest=dest,
+                              srcs=srcs))
+        regs.append(dest)
+    return tree, regs
+
+
+def evaluate_reg(tree, reg, env):
+    """Evaluate a boolean register under an atom assignment."""
+    values = dict(env)
+    for op in tree.ops:
+        name = op.dest.name
+        if name in _ATOMS:
+            continue  # atom values come from env
+        srcs = [values[s.name] for s in op.srcs]
+        if op.opcode is Opcode.AND:
+            values[name] = srcs[0] and srcs[1]
+        elif op.opcode is Opcode.ANDN:
+            values[name] = srcs[0] and not srcs[1]
+        elif op.opcode is Opcode.OR:
+            values[name] = srcs[0] or srcs[1]
+        elif op.opcode is Opcode.NOT:
+            values[name] = not srcs[0]
+    return values[reg.name]
+
+
+def guard_value(tree, guard, env):
+    value = evaluate_reg(tree, guard.reg, env)
+    return (not value) if guard.negate else value
+
+
+@given(data=guard_trees(),
+       neg_a=st.booleans(), neg_b=st.booleans(),
+       pick=st.tuples(st.integers(0, 100), st.integers(0, 100)))
+def test_disjointness_is_sound(data, neg_a, neg_b, pick):
+    tree, regs = data
+    guard_a = Guard(regs[pick[0] % len(regs)], neg_a)
+    guard_b = Guard(regs[pick[1] % len(regs)], neg_b)
+    analysis = GuardAnalysis(tree)
+    if not analysis.disjoint(guard_a, guard_b):
+        return
+    for assignment in itertools.product([False, True], repeat=len(_ATOMS)):
+        env = dict(zip(_ATOMS, assignment))
+        both = (guard_value(tree, guard_a, env)
+                and guard_value(tree, guard_b, env))
+        assert not both, (guard_a, guard_b, env)
+
+
+@given(data=guard_trees(), pick=st.integers(0, 100), neg=st.booleans())
+def test_guard_never_disjoint_with_itself_unless_unsatisfiable(data, pick, neg):
+    tree, regs = data
+    guard = Guard(regs[pick % len(regs)], neg)
+    analysis = GuardAnalysis(tree)
+    if analysis.disjoint(guard, guard):
+        # only possible if the guard is never true at all
+        for assignment in itertools.product([False, True],
+                                            repeat=len(_ATOMS)):
+            env = dict(zip(_ATOMS, assignment))
+            assert not guard_value(tree, guard, env)

@@ -1,0 +1,120 @@
+"""Property-based tests of the whole pipeline on random tinyc programs.
+
+The central invariant of the entire system: *no disambiguator changes
+program semantics*.  SPEC rewrites code, so it carries the burden of
+proof; the others must at least produce valid dependence views and
+consistent timing orderings.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.disambig import Disambiguator, disambiguate
+from repro.frontend import compile_source
+from repro.ir import validate_program
+from repro.machine import machine
+from repro.sim import evaluate_program, run_program
+
+from .gen import tinyc_programs
+
+_SETTINGS = settings(max_examples=25, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+@_SETTINGS
+@given(source=tinyc_programs())
+def test_spec_preserves_semantics(source):
+    """SPEC's code transformation never changes observable output.
+
+    Note: lenient loads are required — if-converted loop bodies execute
+    their loads speculatively on the exit iteration (out of bounds by
+    one), the very situation the paper's Section 4.6 discusses.
+    """
+    program = compile_source(source)
+    reference = run_program(program, max_steps=2_000_000)
+    for memory_latency in (2, 6):
+        view = disambiguate(program, Disambiguator.SPEC,
+                            profile=reference.profile,
+                            machine=machine(None, memory_latency))
+        validate_program(view.program)
+        transformed = run_program(view.program.copy(), collect_profile=False,
+                                  max_steps=2_000_000)
+        assert reference.output_equal(transformed), source
+
+
+@_SETTINGS
+@given(source=tinyc_programs())
+def test_disambiguator_timing_orderings(source):
+    """NAIVE >= STATIC >= PERFECT cycles, and SPEC never loses to
+    STATIC — on the infinite machine, where arc-removal monotonicity is
+    exact.  (On finite machines a greedy list scheduler can exhibit
+    1-cycle Graham anomalies when constraints are *removed*, so the
+    ordering there is only approximate.)"""
+    program = compile_source(source)
+    reference = run_program(program)
+    mach = machine(None, 6)
+    cycles = {}
+    for kind in Disambiguator:
+        view = disambiguate(program, kind, profile=reference.profile,
+                            machine=mach)
+        cycles[kind] = evaluate_program(view.program, view.graphs, mach,
+                                        reference.profile).cycles
+    assert cycles[Disambiguator.NAIVE] >= cycles[Disambiguator.STATIC]
+    assert cycles[Disambiguator.STATIC] >= cycles[Disambiguator.PERFECT]
+    assert cycles[Disambiguator.SPEC] <= cycles[Disambiguator.STATIC]
+
+    # finite machine: the ordering holds within a small anomaly margin
+    finite = machine(5, 6)
+    for better, worse in ((Disambiguator.PERFECT, Disambiguator.NAIVE),
+                          (Disambiguator.SPEC, Disambiguator.NAIVE)):
+        better_view = disambiguate(program, better,
+                                   profile=reference.profile, machine=finite)
+        worse_view = disambiguate(program, worse,
+                                  profile=reference.profile, machine=finite)
+        better_cycles = evaluate_program(
+            better_view.program, better_view.graphs, finite,
+            reference.profile).cycles
+        worse_cycles = evaluate_program(
+            worse_view.program, worse_view.graphs, finite,
+            reference.profile).cycles
+        assert better_cycles <= worse_cycles * 1.02 + 8
+
+
+@_SETTINGS
+@given(source=tinyc_programs())
+def test_compilation_is_deterministic(source):
+    """Compiling twice yields structurally identical programs."""
+    from repro.ir import format_program
+    first = compile_source(source)
+    second = compile_source(source)
+    assert format_program(first) == format_program(second)
+
+
+@_SETTINGS
+@given(source=tinyc_programs())
+def test_interpreter_deterministic(source):
+    program = compile_source(source)
+    a = run_program(program.copy())
+    b = run_program(program.copy())
+    assert a.output == b.output
+    assert a.steps == b.steps
+
+
+@_SETTINGS
+@given(source=tinyc_programs())
+def test_grafting_preserves_semantics(source):
+    """Tail duplication (Section 7 grafting) never changes output, and
+    composes safely with the SPEC pipeline."""
+    from repro.frontend import GraftConfig, graft_program
+    program = compile_source(source)
+    reference = run_program(program, max_steps=2_000_000)
+    grafted, _stats = graft_program(program)
+    validate_program(grafted)
+    result = run_program(grafted.copy(), max_steps=4_000_000)
+    assert reference.output_equal(result), source
+    # and SPEC on top of grafted trees stays sound
+    profile = result.profile
+    view = disambiguate(grafted, Disambiguator.SPEC, profile=profile,
+                        machine=machine(None, 6))
+    transformed = run_program(view.program.copy(), collect_profile=False,
+                              max_steps=4_000_000)
+    assert reference.output_equal(transformed), source

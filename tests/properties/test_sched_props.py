@@ -1,0 +1,88 @@
+"""Property-based tests of the list scheduler on random trees."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ir import (Constant, Opcode, Operation, Register, TreeBuilder,
+                      build_dependence_graph)
+from repro.machine import machine
+from repro.sched import list_schedule
+from repro.sim import infinite_machine_timing
+from repro.sim.timing import issue_constraint
+
+_VALUE_OPCODES = [Opcode.ADD, Opcode.MUL, Opcode.FADD, Opcode.DIV,
+                  Opcode.SUB, Opcode.FMUL]
+
+
+@st.composite
+def random_trees(draw):
+    """A random DAG-shaped tree: value ops reading earlier results,
+    interleaved with stores/loads at small constant addresses."""
+    builder = TreeBuilder("t")
+    values = [builder.value(Opcode.ADD, [draw(st.integers(0, 5)), 1])]
+    for _ in range(draw(st.integers(2, 12))):
+        kind = draw(st.integers(0, 4))
+        if kind == 0:
+            addr = draw(st.integers(0, 7))
+            builder.store(draw(st.sampled_from(values)), addr)
+        elif kind == 1:
+            addr = draw(st.integers(0, 7))
+            values.append(builder.load(addr, "int"))
+        else:
+            opcode = draw(st.sampled_from(_VALUE_OPCODES))
+            left = draw(st.sampled_from(values))
+            right = draw(st.sampled_from(values + [Constant(2)]))
+            values.append(builder.value(opcode, [left, right], type_="int"))
+    builder.emit(Opcode.PRINT, [values[-1]])
+    builder.halt()
+    return builder.tree
+
+
+_SETTINGS = settings(max_examples=60, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+@_SETTINGS
+@given(tree=random_trees(), width=st.integers(1, 6),
+       mem=st.sampled_from([2, 6]))
+def test_schedule_respects_capacity_and_constraints(tree, width, mem):
+    graph = build_dependence_graph(tree)
+    schedule = list_schedule(graph, machine(width, mem))
+    for _cycle, nodes in schedule.slots.items():
+        assert len(nodes) <= width
+    for node in range(graph.num_nodes):
+        for arc in graph.preds(node):
+            assert schedule.issue[node] >= issue_constraint(
+                arc, schedule.issue, schedule.completion), arc
+
+
+@_SETTINGS
+@given(tree=random_trees(), width=st.integers(1, 6),
+       mem=st.sampled_from([2, 6]))
+def test_schedule_never_beats_dataflow_bound(tree, width, mem):
+    graph = build_dependence_graph(tree)
+    mach = machine(None, mem)
+    ideal = infinite_machine_timing(graph, mach)
+    schedule = list_schedule(graph, machine(width, mem))
+    for ideal_t, real_t in zip(ideal.path_times, schedule.path_times):
+        assert real_t >= ideal_t
+
+
+@_SETTINGS
+@given(tree=random_trees(), mem=st.sampled_from([2, 6]))
+def test_wide_machine_matches_dataflow_bound(tree, mem):
+    graph = build_dependence_graph(tree)
+    ideal = infinite_machine_timing(graph, machine(None, mem))
+    schedule = list_schedule(graph, machine(32, mem))
+    assert schedule.path_times == ideal.path_times
+
+
+@_SETTINGS
+@given(tree=random_trees(), mem=st.sampled_from([2, 6]))
+def test_more_width_never_slower(tree, mem):
+    graph = build_dependence_graph(tree)
+    previous = None
+    for width in (1, 2, 4, 8):
+        length = list_schedule(graph, machine(width, mem)).path_times[0]
+        if previous is not None:
+            assert length <= previous
+        previous = length

@@ -1,0 +1,115 @@
+"""Property-based tests of the SpD transform on random trees.
+
+For every random tree and every ambiguous arc in it: applying SpD must
+preserve sequential semantics (checked by direct execution with random
+initial memory) and must actually resolve the arc.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.disambig import SpDNotApplicable, apply_spd
+from repro.ir import (ArrayDecl, Constant, Function, Opcode, Program,
+                      Register, TreeBuilder, build_dependence_graph,
+                      validate_program)
+from repro.sim import run_program
+
+MEM_WORDS = 8
+
+
+@st.composite
+def mem_trees(draw):
+    """A random single tree mixing stores, loads and arithmetic over a
+    small memory; addresses are either constants or computed."""
+    program = Program()
+    program.globals_.append(ArrayDecl("a", "float", (MEM_WORDS,)))
+    function = Function("main")
+    builder = TreeBuilder("t0")
+    values = [builder.value(Opcode.FADD,
+                            [float(draw(st.integers(1, 5))), 0.5])]
+    for _ in range(draw(st.integers(3, 10))):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            addr = builder.value(Opcode.ADD,
+                                 [draw(st.integers(0, MEM_WORDS - 1)), 0])
+            builder.store(draw(st.sampled_from(values)), addr)
+        elif kind == 1:
+            addr = builder.value(Opcode.ADD,
+                                 [draw(st.integers(0, MEM_WORDS - 1)), 0])
+            values.append(builder.load(addr, "float"))
+        else:
+            opcode = draw(st.sampled_from([Opcode.FADD, Opcode.FMUL]))
+            left = draw(st.sampled_from(values))
+            right = draw(st.sampled_from(values + [Constant(2.0)]))
+            values.append(builder.value(opcode, [left, right]))
+    for value in values[-2:]:
+        builder.emit(Opcode.PRINT, [value])
+    builder.halt()
+    function.add_tree(builder.tree)
+    program.add_function(function)
+    program.layout_memory()
+    return program
+
+
+_SETTINGS = settings(max_examples=60, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+@_SETTINGS
+@given(program=mem_trees(), arc_pick=st.integers(0, 100))
+def test_apply_spd_preserves_semantics(program, arc_pick):
+    tree = program.functions["main"].trees["t0"]
+    graph = build_dependence_graph(tree)
+    arcs = graph.ambiguous_arcs()
+    if not arcs:
+        return
+    arc = arcs[arc_pick % len(arcs)]
+    reference = run_program(program.copy(), strict_memory=True)
+    transformed = program.copy()
+    tree2 = transformed.functions["main"].trees["t0"]
+    graph2 = build_dependence_graph(tree2)
+    arc2 = next(a for a in graph2.ambiguous_arcs() if a.key == arc.key)
+    try:
+        apply_spd(tree2, arc2)
+    except SpDNotApplicable:
+        return
+    validate_program(transformed)
+    result = run_program(transformed, strict_memory=True)
+    assert reference.output_equal(result)
+
+
+@_SETTINGS
+@given(program=mem_trees(), arc_pick=st.integers(0, 100))
+def test_apply_spd_resolves_the_arc(program, arc_pick):
+    tree = program.functions["main"].trees["t0"]
+    graph = build_dependence_graph(tree)
+    arcs = graph.ambiguous_arcs()
+    if not arcs:
+        return
+    arc = arcs[arc_pick % len(arcs)]
+    try:
+        apply_spd(tree, arc)
+    except SpDNotApplicable:
+        return
+    rebuilt = build_dependence_graph(tree)
+    assert arc.key not in {a.key for a in rebuilt.ambiguous_arcs()}
+
+
+@_SETTINGS
+@given(program=mem_trees(), picks=st.lists(st.integers(0, 100),
+                                           min_size=1, max_size=3))
+def test_repeated_applications_stay_correct(program, picks):
+    """Iterated SpD (the heuristic's loop) must compose safely."""
+    reference = run_program(program.copy(), strict_memory=True)
+    tree = program.functions["main"].trees["t0"]
+    for pick in picks:
+        graph = build_dependence_graph(tree)
+        arcs = graph.ambiguous_arcs()
+        if not arcs:
+            break
+        try:
+            apply_spd(tree, arcs[pick % len(arcs)])
+        except SpDNotApplicable:
+            continue
+    validate_program(program)
+    result = run_program(program, strict_memory=True)
+    assert reference.output_equal(result)

@@ -1,0 +1,46 @@
+"""Tests for the VLIW schedule dumper."""
+
+from repro.ir import Opcode, TreeBuilder, build_dependence_graph
+from repro.machine import machine
+from repro.sched import dump_tree_schedule, format_schedule, list_schedule
+
+
+def sample_graph():
+    builder = TreeBuilder("t")
+    value = builder.value(Opcode.FADD, [1.0, 2.0])
+    builder.store(value, 100)
+    loaded = builder.load(101, "float")
+    builder.emit(Opcode.PRINT, [loaded])
+    builder.halt()
+    return build_dependence_graph(builder.tree)
+
+
+class TestFormatSchedule:
+    def test_every_issued_node_appears(self):
+        graph = sample_graph()
+        mach = machine(2, 2)
+        schedule = list_schedule(graph, mach)
+        text = format_schedule(graph, schedule)
+        assert "store" in text and "load" in text and "print" in text
+        assert "branch:halt" in text
+
+    def test_header_has_slot_columns(self):
+        graph = sample_graph()
+        text = dump_tree_schedule(graph, machine(3, 2))
+        header = text.splitlines()[0]
+        assert "slot0" in header and "slot2" in header
+
+    def test_length_and_utilization_reported(self):
+        graph = sample_graph()
+        text = dump_tree_schedule(graph, machine(2, 6))
+        assert "length" in text and "utilization" in text
+
+    def test_guards_visible(self):
+        from repro.ir import Guard, Register
+        builder = TreeBuilder("t")
+        cond = builder.value(Opcode.CMP_LT, [1, 2])
+        builder.store(1.5, 100, guard=Guard(cond, negate=True))
+        builder.halt()
+        graph = build_dependence_graph(builder.tree)
+        text = dump_tree_schedule(graph, machine(2, 2))
+        assert f"[!{cond.name}]" in text

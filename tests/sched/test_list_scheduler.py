@@ -1,0 +1,113 @@
+"""Unit tests for the resource-constrained list scheduler."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import Opcode, TreeBuilder, build_dependence_graph
+from repro.machine import machine
+from repro.sched import list_schedule, schedule_tree
+from repro.sim import infinite_machine_timing
+
+
+def wide_tree(num_independent=8):
+    b = TreeBuilder("t")
+    for i in range(num_independent):
+        b.value(Opcode.ADD, [i, 1])
+    b.halt()
+    return b.tree
+
+
+class TestResourceLimits:
+    def test_slot_capacity_respected(self):
+        tree = wide_tree(8)
+        graph = build_dependence_graph(tree)
+        for width in (1, 2, 4):
+            schedule = list_schedule(graph, machine(width, 2))
+            for _cycle, nodes in schedule.slots.items():
+                assert len(nodes) <= width
+
+    def test_narrow_machine_serialises(self):
+        tree = wide_tree(8)
+        graph = build_dependence_graph(tree)
+        one = list_schedule(graph, machine(1, 2))
+        eight = list_schedule(graph, machine(8, 2))
+        # 8 adds + 1 exit on a 1-wide machine: 9 issue cycles
+        assert max(one.issue) == 8
+        assert max(eight.issue) <= 2
+
+    def test_all_nodes_scheduled(self):
+        tree = wide_tree(5)
+        graph = build_dependence_graph(tree)
+        schedule = list_schedule(graph, machine(2, 2))
+        assert all(c >= 0 for c in schedule.issue)
+        assert all(c >= 0 for c in schedule.completion)
+
+    def test_infinite_machine_rejected(self):
+        graph = build_dependence_graph(wide_tree(2))
+        with pytest.raises(ValueError):
+            list_schedule(graph, machine(None, 2))
+
+
+class TestConstraintSatisfaction:
+    def check_constraints(self, graph, schedule):
+        from repro.sim.timing import issue_constraint
+        for node in range(graph.num_nodes):
+            for arc in graph.preds(node):
+                earliest = issue_constraint(arc, schedule.issue,
+                                            schedule.completion)
+                assert schedule.issue[node] >= earliest, arc
+
+    def test_constraints_hold_on_compiled_trees(self, example22_program):
+        for _f, tree in example22_program.all_trees():
+            graph = build_dependence_graph(tree)
+            for width in (1, 3):
+                schedule = list_schedule(graph, machine(width, 6))
+                self.check_constraints(graph, schedule)
+
+    def test_schedule_never_beats_infinite_machine(self, example22_program):
+        for _f, tree in example22_program.all_trees():
+            graph = build_dependence_graph(tree)
+            for mem in (2, 6):
+                mach = machine(None, mem)
+                ideal = infinite_machine_timing(graph, mach)
+                for width in (1, 2, 5):
+                    schedule = list_schedule(graph, machine(width, mem))
+                    for ideal_t, real_t in zip(ideal.path_times,
+                                               schedule.path_times):
+                        assert real_t >= ideal_t
+
+    def test_wide_machine_converges_to_infinite(self, example22_program):
+        for _f, tree in example22_program.all_trees():
+            graph = build_dependence_graph(tree)
+            mach = machine(None, 2)
+            ideal = infinite_machine_timing(graph, mach)
+            schedule = list_schedule(graph, machine(64, 2))
+            assert schedule.path_times == ideal.path_times
+
+
+class TestScheduleMetrics:
+    def test_utilization_bounds(self):
+        tree = wide_tree(6)
+        graph = build_dependence_graph(tree)
+        schedule = list_schedule(graph, machine(2, 2))
+        assert 0 < schedule.utilization() <= 1
+
+    def test_words_ordered_by_cycle(self):
+        tree = wide_tree(6)
+        graph = build_dependence_graph(tree)
+        schedule = list_schedule(graph, machine(2, 2))
+        cycles = [cycle for cycle, _nodes in schedule.words()]
+        assert cycles == sorted(cycles)
+
+
+class TestScheduleTreeDispatch:
+    def test_infinite_goes_to_dataflow_model(self):
+        graph = build_dependence_graph(wide_tree(3))
+        timing = schedule_tree(graph, machine(None, 2))
+        assert timing.path_times == infinite_machine_timing(
+            graph, machine(None, 2)).path_times
+
+    def test_finite_goes_to_list_scheduler(self):
+        graph = build_dependence_graph(wide_tree(3))
+        timing = schedule_tree(graph, machine(1, 2))
+        assert max(timing.issue) >= 3  # serialised

@@ -1,0 +1,59 @@
+"""Unit tests for program-level cycle accounting."""
+
+import pytest
+
+from repro.disambig import Disambiguator, disambiguate
+from repro.machine import machine
+from repro.sim import evaluate_program, run_program
+
+
+@pytest.fixture(scope="module")
+def evaluated(example22_program):
+    profile = run_program(example22_program).profile
+    view = disambiguate(example22_program, Disambiguator.NAIVE)
+    mach = machine(5, 6)
+    timing = evaluate_program(view.program, view.graphs, mach, profile)
+    return profile, view, timing
+
+
+class TestProgramTiming:
+    def test_total_is_sum_of_tree_reports(self, evaluated):
+        _profile, _view, timing = evaluated
+        assert timing.cycles == sum(r.cycles for r in timing.tree_reports.values())
+
+    def test_unexecuted_trees_contribute_nothing(self, evaluated):
+        profile, _view, timing = evaluated
+        for key in timing.tree_reports:
+            assert profile.executed(key) > 0
+
+    def test_tree_report_consistency(self, evaluated):
+        _profile, _view, timing = evaluated
+        for report in timing.tree_reports.values():
+            assert report.cycles == sum(
+                c * t for c, t in zip(report.path_counts, report.path_times))
+            assert report.executions == sum(report.path_counts)
+            assert report.average_time > 0
+
+    def test_speedup_metrics(self, evaluated):
+        _profile, _view, timing = evaluated
+        assert timing.speedup_over(timing) == pytest.approx(0.0)
+        assert timing.ratio_over(timing) == pytest.approx(1.0)
+
+
+class TestMachineSensitivity:
+    def test_memory_latency_increases_cycles(self, example22_program):
+        profile = run_program(example22_program).profile
+        view = disambiguate(example22_program, Disambiguator.NAIVE)
+        fast = evaluate_program(view.program, view.graphs,
+                                machine(5, 2), profile)
+        slow = evaluate_program(view.program, view.graphs,
+                                machine(5, 6), profile)
+        assert slow.cycles > fast.cycles
+
+    def test_width_never_hurts(self, example22_program):
+        profile = run_program(example22_program).profile
+        view = disambiguate(example22_program, Disambiguator.NAIVE)
+        cycles = [evaluate_program(view.program, view.graphs,
+                                   machine(w, 2), profile).cycles
+                  for w in (1, 2, 4, 8)]
+        assert cycles == sorted(cycles, reverse=True)

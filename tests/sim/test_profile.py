@@ -1,0 +1,55 @@
+"""Unit tests for profile data structures."""
+
+import pytest
+
+from repro.sim.profile import PairStats, ProfileData
+
+
+class TestPairStats:
+    def test_alias_probability(self):
+        stats = PairStats(executed=100, aliased=1)
+        assert stats.alias_probability == pytest.approx(0.01)
+
+    def test_zero_executions(self):
+        assert PairStats().alias_probability == 0.0
+
+    def test_superfluous(self):
+        assert PairStats(executed=50, aliased=0).superfluous
+        assert not PairStats(executed=50, aliased=2).superfluous
+        assert PairStats().superfluous  # never co-executed
+
+
+class TestProfileData:
+    def test_record_tree_accumulates(self):
+        profile = ProfileData()
+        key = ("f", "t")
+        profile.record_tree(key, 2, 0)
+        profile.record_tree(key, 2, 1)
+        profile.record_tree(key, 2, 1)
+        assert profile.executed(key) == 3
+        assert profile.exit_counts[key] == [1, 2]
+
+    def test_path_probabilities(self):
+        profile = ProfileData()
+        key = ("f", "t")
+        for _ in range(3):
+            profile.record_tree(key, 2, 0)
+        profile.record_tree(key, 2, 1)
+        assert profile.path_probabilities(key, 2) == [0.75, 0.25]
+
+    def test_path_probabilities_uniform_when_unexecuted(self):
+        profile = ProfileData()
+        assert profile.path_probabilities(("f", "ghost"), 4) == [0.25] * 4
+
+    def test_record_pair(self):
+        profile = ProfileData()
+        key = ("f", "t", 3, 7)
+        profile.record_pair(key, aliased=True)
+        profile.record_pair(key, aliased=False)
+        stats = profile.pair(key)
+        assert stats.executed == 2 and stats.aliased == 1
+
+    def test_pair_default_empty(self):
+        profile = ProfileData()
+        stats = profile.pair(("f", "t", 1, 2))
+        assert stats.executed == 0 and stats.superfluous
