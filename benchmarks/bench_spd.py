@@ -1,0 +1,137 @@
+"""Perf-trajectory snapshot: ``BENCH_spd.json``.
+
+Runs every built-in benchmark through the paper's full experimental
+flow (compile + profile, all four disambiguators, list-scheduled
+timing) and records per-benchmark execution cycles *and* pipeline
+wall-times per stage, plus selected work counters from ``repro.obs``.
+The resulting JSON seeds the repository's performance trajectory:
+successive PRs can diff cycle counts (model behaviour) and wall-times
+(toolchain speed) against it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_spd.py [--out BENCH_spd.json]
+        [--fus 5] [--memory 6] [--names fft,perm,...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.bench.runner import BenchmarkRunner
+from repro.bench.suite import SUITE
+from repro.disambig.pipeline import Disambiguator
+from repro.machine.description import machine
+
+#: Counters worth tracking release-over-release (work, not wall-time).
+_TRACKED_COUNTERS = (
+    "depgraph.builds",
+    "spd.gain_evaluations",
+    "timing.infinite_evals",
+    "sched.trees_scheduled",
+    "sim.steps",
+)
+
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_spd.json"
+
+
+def snapshot_benchmark(name: str, num_fus: int,
+                       memory_latency: int) -> Dict[str, object]:
+    """One benchmark's cycles, SpD stats and per-stage wall-times."""
+    mach = machine(num_fus, memory_latency)
+    runner = BenchmarkRunner()
+    wall_ms: Dict[str, float] = {}
+    cycles: Dict[str, int] = {}
+
+    with obs.tracing() as tracer:
+        started = time.perf_counter()
+        t0 = started
+        compiled = runner.compiled(name)
+        wall_ms["compile_profile"] = (time.perf_counter() - t0) * 1e3
+
+        t0 = time.perf_counter()
+        for kind in Disambiguator:
+            runner.view(name, kind, memory_latency)
+        wall_ms["disambiguate"] = (time.perf_counter() - t0) * 1e3
+
+        t0 = time.perf_counter()
+        for kind in Disambiguator:
+            cycles[kind.value] = runner.timing(name, kind, mach).cycles
+        wall_ms["timing"] = (time.perf_counter() - t0) * 1e3
+        wall_ms["total"] = (time.perf_counter() - started) * 1e3
+
+        spec = runner.view(name, Disambiguator.SPEC, memory_latency)
+        counters = {key: tracer.metrics.counters[key]
+                    for key in _TRACKED_COUNTERS
+                    if key in tracer.metrics.counters}
+
+    naive = cycles[Disambiguator.NAIVE.value]
+    return {
+        "ops": compiled.base_size,
+        "cycles": cycles,
+        "speedup_over_naive": {
+            kind.value: round(naive / cycles[kind.value] - 1.0, 6)
+            for kind in Disambiguator if cycles[kind.value]
+        },
+        "spd_applications": {
+            arc.value.split("_")[1]: count
+            for arc, count in spec.spd_counts().items()
+        },
+        "code_growth": round(runner.code_growth(name, memory_latency), 6),
+        "wall_ms": {stage: round(ms, 2) for stage, ms in wall_ms.items()},
+        "counters": counters,
+    }
+
+
+def build_snapshot(names: List[str], num_fus: int,
+                   memory_latency: int) -> Dict[str, object]:
+    started = time.perf_counter()
+    benchmarks = {}
+    for name in names:
+        print(f"  {name} ...", end="", flush=True)
+        benchmarks[name] = snapshot_benchmark(name, num_fus, memory_latency)
+        print(f" {benchmarks[name]['wall_ms']['total']:.0f}ms")
+    return {
+        "schema": "repro.bench_spd/1",
+        "machine": machine(num_fus, memory_latency).name,
+        "num_fus": num_fus,
+        "memory_latency": memory_latency,
+        "benchmarks": benchmarks,
+        "total_wall_s": round(time.perf_counter() - started, 2),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help="output path (default: repo-root BENCH_spd.json)")
+    parser.add_argument("--fus", type=int, default=5)
+    parser.add_argument("--memory", type=int, choices=(2, 6), default=6)
+    parser.add_argument("--names", default=None,
+                        help="comma-separated benchmark subset")
+    args = parser.parse_args(argv)
+
+    names = (args.names.split(",") if args.names else list(SUITE))
+    unknown = [n for n in names if n not in SUITE]
+    if unknown:
+        print(f"unknown benchmarks: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    print(f"bench_spd: {len(names)} benchmarks on "
+          f"{machine(args.fus, args.memory).name}")
+    snapshot = build_snapshot(names, args.fus, args.memory)
+    with open(args.out, "w") as handle:
+        json.dump(snapshot, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out} ({snapshot['total_wall_s']}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,7 @@ Quickstart::
     print(evaluate_program(spec.program, spec.graphs, mach, profile).cycles)
 """
 
+from . import obs
 from .disambig import (DisambiguationResult, Disambiguator, SpDConfig,
                        apply_spd, disambiguate, speculative_disambiguation)
 from .frontend import CompileError, compile_source
@@ -53,6 +54,7 @@ __all__ = [
     "evaluate_program",
     "infinite_machine_timing",
     "machine",
+    "obs",
     "paper_machines",
     "run_program",
     "speculative_disambiguation",

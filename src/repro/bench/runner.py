@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from .. import obs
 from ..disambig.pipeline import DisambiguationResult, Disambiguator, disambiguate
 from ..disambig.spd_heuristic import SpDConfig
 from ..frontend.grafting import GraftConfig, graft_program
@@ -68,16 +69,19 @@ class BenchmarkRunner:
         cached = self._compiled.get(name)
         if cached is None:
             from ..frontend.driver import compile_source
-            benchmark = get_benchmark(name)
-            program = compile_source(benchmark.source)
-            if self.graft is not None:
-                # grafting changes the tree structure, so the profile is
-                # collected on (and the pipelines run against) the
-                # grafted program
-                program, _stats = graft_program(program, self.graft)
-            reference = run_program(program)
+            with obs.span("bench.compile", benchmark=name):
+                benchmark = get_benchmark(name)
+                program = compile_source(benchmark.source)
+                if self.graft is not None:
+                    # grafting changes the tree structure, so the profile
+                    # is collected on (and the pipelines run against) the
+                    # grafted program
+                    program, _stats = graft_program(program, self.graft)
+                reference = run_program(program)
             cached = CompiledBenchmark(benchmark, program, reference)
             self._compiled[name] = cached
+        else:
+            obs.incr("bench.cache_hits.compiled")
         return cached
 
     def view(self, name: str, kind: Disambiguator,
@@ -86,17 +90,21 @@ class BenchmarkRunner:
         cached = self._views.get(key)
         if cached is None:
             compiled = self.compiled(name)
-            cached = disambiguate(
-                compiled.program, kind, profile=compiled.profile,
-                machine=machine(None, memory_latency),
-                spd_config=self.spd_config)
-            if kind is Disambiguator.SPEC and self.validate_spec_output:
-                transformed = run_program(cached.program.copy(),
-                                          collect_profile=False)
-                if not compiled.reference.output_equal(transformed):
-                    raise AssertionError(
-                        f"SpD changed the output of benchmark {name!r}")
+            with obs.span("bench.disambiguate", benchmark=name,
+                          kind=kind.value, memory_latency=memory_latency):
+                cached = disambiguate(
+                    compiled.program, kind, profile=compiled.profile,
+                    machine=machine(None, memory_latency),
+                    spd_config=self.spd_config)
+                if kind is Disambiguator.SPEC and self.validate_spec_output:
+                    transformed = run_program(cached.program.copy(),
+                                              collect_profile=False)
+                    if not compiled.reference.output_equal(transformed):
+                        raise AssertionError(
+                            f"SpD changed the output of benchmark {name!r}")
             self._views[key] = cached
+        else:
+            obs.incr("bench.cache_hits.view")
         return cached
 
     def timing(self, name: str, kind: Disambiguator,
@@ -106,9 +114,13 @@ class BenchmarkRunner:
         if cached is None:
             compiled = self.compiled(name)
             view = self.view(name, kind, mach.memory_latency)
-            cached = evaluate_program(view.program, view.graphs, mach,
-                                      compiled.profile)
+            with obs.span("bench.timing", benchmark=name, kind=kind.value,
+                          machine=mach.name):
+                cached = evaluate_program(view.program, view.graphs, mach,
+                                          compiled.profile)
             self._timings[key] = cached
+        else:
+            obs.incr("bench.cache_hits.timing")
         return cached
 
     # -- headline metrics ----------------------------------------------------

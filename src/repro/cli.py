@@ -1,4 +1,4 @@
-"""Command-line interface: compile, run, analyse and report.
+"""Command-line interface: compile, run, analyse, trace and report.
 
 Usage (also via ``python -m repro``)::
 
@@ -6,22 +6,32 @@ Usage (also via ``python -m repro``)::
     repro compile PROGRAM.tc             # dump the decision-tree IR
     repro analyze PROGRAM.tc [options]   # cycles under all disambiguators
     repro bench NAME [options]           # same for a built-in benchmark
+    repro trace TARGET [options]         # per-pass timing tree + metrics
     repro report {table6_1,...,all}      # regenerate a paper table/figure
     repro list                           # list built-in benchmarks
 
-Options shared by ``analyze``/``bench``: ``--fus N`` (default 5,
-0 = infinite), ``--memory {2,6}`` (default 6), ``--graft``.
+Options shared by ``analyze``/``bench``/``trace``/``schedule``:
+``--fus N`` (default 5, 0 = infinite), ``--memory {2,6}`` (default 6),
+``--graft``, and the SpD heuristic knobs ``--max-expansion``,
+``--min-gain``, ``--profiled-alias``.
+
+``analyze``, ``bench``, ``trace`` and ``report`` accept ``--json OUT``
+to write a machine-readable result (schemas in docs/observability.md)
+alongside the unchanged text output; ``OUT`` may be ``-`` for stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from . import obs
 from .bench.runner import BenchmarkRunner
 from .bench.suite import SUITE
 from .disambig.pipeline import Disambiguator, disambiguate
+from .disambig.spd_heuristic import SpDConfig
 from .frontend.driver import compile_source
 from .frontend.grafting import GraftConfig, graft_program
 from .ir.printer import format_program
@@ -44,6 +54,32 @@ def _machine_from(args) -> "machine":
     return machine(num_fus, args.memory)
 
 
+def _spd_config_from(args) -> SpDConfig:
+    return SpDConfig(max_expansion=args.max_expansion,
+                     min_gain=args.min_gain,
+                     alias_probability_weighting=args.profiled_alias)
+
+
+def _write_json(path: str, payload: dict) -> int:
+    """Write *payload* to *path* ('-' = stdout); return an exit status."""
+    text = json.dumps(payload, indent=2)
+    if path == "-":
+        print(text)
+        return 0
+    try:
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+    except OSError as exc:
+        print(f"cannot write --json output: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _machine_dict(mach) -> dict:
+    return {"name": mach.name, "num_fus": mach.num_fus,
+            "memory_latency": mach.memory_latency}
+
+
 def _cmd_run(args) -> int:
     program = compile_source(_load_source(args.program))
     result = run_program(program)
@@ -63,27 +99,53 @@ def _cmd_compile(args) -> int:
     return 0
 
 
-def _analyze(program, mach, label: str) -> int:
-    reference = run_program(program)
+def _analyze(program, mach, label: str,
+             spd_config: SpDConfig = SpDConfig(),
+             reference=None) -> dict:
+    """Print the per-disambiguator cycle table; return it structured."""
+    if reference is None:
+        reference = run_program(program)
     print(f"{label}: {program.size()} ops, output {reference.output[:6]}"
           f"{'...' if len(reference.output) > 6 else ''}")
     print(f"machine: {mach.name}")
+    data: dict = {"program": label, "ops": program.size(),
+                  "machine": _machine_dict(mach), "disambiguators": {}}
     naive_cycles: Optional[int] = None
     for kind in Disambiguator:
         view = disambiguate(program, kind, profile=reference.profile,
-                            machine=mach)
+                            machine=mach, spd_config=spd_config)
         timing = evaluate_program(view.program, view.graphs, mach,
                                   reference.profile)
         if kind is Disambiguator.NAIVE:
             naive_cycles = timing.cycles
         speedup = naive_cycles / timing.cycles - 1 if timing.cycles else 0.0
+        entry = {"cycles": timing.cycles,
+                 "speedup_over_naive": round(speedup, 6)}
         extra = ""
         if kind is Disambiguator.SPEC:
             counts = {k.value.split("_")[1]: v
                       for k, v in view.spd_counts().items() if v}
             extra = f"  SpD: {counts or 'none'}"
+            entry["spd_counts"] = {k.value.split("_")[1]: v
+                                   for k, v in view.spd_counts().items()}
+            entry["code_size"] = view.code_size()
         print(f"  {kind.value:>8}: {timing.cycles:10d} cycles "
               f"({speedup:+7.1%} vs naive){extra}")
+        data["disambiguators"][kind.value] = entry
+    return data
+
+
+def _run_analysis(args, program, label: str, reference=None) -> int:
+    """Shared analyze/bench tail: text table, optional JSON + trace."""
+    mach = _machine_from(args)
+    spd_config = _spd_config_from(args)
+    if args.json:
+        with obs.tracing() as tracer:
+            data = _analyze(program, mach, label, spd_config, reference)
+        payload = {"schema": "repro.analysis/1", **data,
+                   **tracer.to_dict()}
+        return _write_json(args.json, payload)
+    _analyze(program, mach, label, spd_config, reference)
     return 0
 
 
@@ -91,7 +153,7 @@ def _cmd_analyze(args) -> int:
     program = compile_source(_load_source(args.program))
     if args.graft:
         program, _stats = graft_program(program)
-    return _analyze(program, _machine_from(args), args.program)
+    return _run_analysis(args, program, args.program)
 
 
 def _cmd_bench(args) -> int:
@@ -100,9 +162,56 @@ def _cmd_bench(args) -> int:
               file=sys.stderr)
         return 2
     runner = BenchmarkRunner(
+        spd_config=_spd_config_from(args),
         graft=GraftConfig() if args.graft else None)
     compiled = runner.compiled(args.name)
-    return _analyze(compiled.program, _machine_from(args), args.name)
+    return _run_analysis(args, compiled.program, args.name,
+                         reference=compiled.reference)
+
+
+def _cmd_trace(args) -> int:
+    """Run the full pipeline under tracing; show the per-pass tree."""
+    if args.target in SUITE:
+        label, source = args.target, SUITE[args.target].source
+    else:
+        try:
+            label, source = args.target, _load_source(args.target)
+        except OSError as error:
+            print(f"{args.target!r} is neither a built-in benchmark nor "
+                  f"a readable file: {error}", file=sys.stderr)
+            return 2
+    mach = _machine_from(args)
+    spd_config = _spd_config_from(args)
+    with obs.tracing() as tracer:
+        with obs.span("pipeline", program=label):
+            program = compile_source(source)
+            if args.graft:
+                program, _stats = graft_program(program)
+            reference = run_program(program)
+            for kind in Disambiguator:
+                with obs.span(f"analyze.{kind.value}"):
+                    view = disambiguate(program, kind,
+                                        profile=reference.profile,
+                                        machine=mach, spd_config=spd_config)
+                    evaluate_program(view.program, view.graphs, mach,
+                                     reference.profile)
+    root = tracer.finish()
+    print(f"trace: {label} ({mach.name})")
+    print(obs.format_span_tree(root))
+    counters = tracer.metrics.counters
+    if counters:
+        print()
+        print("metrics:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            value = counters[name]
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            print(f"  {name:<{width}s}  {rendered}")
+    if args.json:
+        payload = {"schema": "repro.trace/1", "program": label,
+                   "machine": _machine_dict(mach), **tracer.to_dict()}
+        return _write_json(args.json, payload)
+    return 0
 
 
 def _cmd_schedule(args) -> int:
@@ -119,7 +228,8 @@ def _cmd_schedule(args) -> int:
         return 2
     profile = run_program(program).profile
     kind = Disambiguator.SPEC if args.spec else Disambiguator.STATIC
-    view = disambiguate(program, kind, profile=profile, machine=mach)
+    view = disambiguate(program, kind, profile=profile, machine=mach,
+                        spd_config=_spd_config_from(args))
     for (func, name), graph in sorted(view.graphs.items()):
         if args.tree and args.tree not in name:
             continue
@@ -140,23 +250,30 @@ def _cmd_report(args) -> int:
                               table6_1, table6_2, table6_3)
     runner = BenchmarkRunner()
     producers = {
-        "table6_1": lambda: table6_1.run().render(),
-        "table6_2": lambda: table6_2.run().render(),
-        "table6_3": lambda: table6_3.run(runner).render(),
-        "figure6_2": lambda: figure6_2.run(runner).render(),
-        "figure6_3": lambda: figure6_3.run(runner).render(),
-        "figure6_4": lambda: figure6_4.run(runner).render(),
+        "table6_1": lambda: table6_1.run(),
+        "table6_2": lambda: table6_2.run(),
+        "table6_3": lambda: table6_3.run(runner),
+        "figure6_2": lambda: figure6_2.run(runner),
+        "figure6_3": lambda: figure6_3.run(runner),
+        "figure6_4": lambda: figure6_4.run(runner),
         "ablation_knobs": lambda: ablation.run_knob_sweep(
-            max_expansions=(1.25, 2.0), min_gains=(0.5, 2.0)).render(),
+            max_expansions=(1.25, 2.0), min_gains=(0.5, 2.0)),
         "ablation_alias_prob":
-            lambda: ablation.run_alias_probability_study().render(),
-        "ablation_grafting": lambda: ablation.run_grafting_study().render(),
-        "ablation_combined": lambda: ablation.run_combined_study().render(),
+            lambda: ablation.run_alias_probability_study(),
+        "ablation_grafting": lambda: ablation.run_grafting_study(),
+        "ablation_combined": lambda: ablation.run_combined_study(),
     }
     wanted = list(producers) if args.which == "all" else [args.which]
+    results: Dict[str, dict] = {}
     for which in wanted:
-        print(producers[which]())
+        result = producers[which]()
+        print(result.render())
         print()
+        if args.json:
+            results[which] = result.to_dict()
+    if args.json:
+        return _write_json(args.json, {"schema": "repro.report/1",
+                                       "results": results})
     return 0
 
 
@@ -173,6 +290,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="memory latency in cycles")
         p.add_argument("--graft", action="store_true",
                        help="enlarge decision trees by tail duplication")
+        p.add_argument("--max-expansion", type=float,
+                       default=SpDConfig.max_expansion,
+                       help="SpD MaxExpansion code-growth bound")
+        p.add_argument("--min-gain", type=float, default=SpDConfig.min_gain,
+                       help="SpD MinGain predicted-cycles threshold")
+        p.add_argument("--profiled-alias", action="store_true",
+                       help="weight Gain() by profiled alias probability")
+
+    def add_json_flag(p):
+        p.add_argument("--json", metavar="OUT", default=None,
+                       help="also write a machine-readable result "
+                            "(- for stdout)")
 
     p_run = sub.add_parser("run", help="execute a tinyc program")
     p_run.add_argument("program", help="tinyc source file, or - for stdin")
@@ -187,12 +316,22 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze", help="cycles under all four disambiguators")
     p_analyze.add_argument("program")
     add_machine_flags(p_analyze)
+    add_json_flag(p_analyze)
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_bench = sub.add_parser("bench", help="analyse a built-in benchmark")
     p_bench.add_argument("name")
     add_machine_flags(p_bench)
+    add_json_flag(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_trace = sub.add_parser(
+        "trace", help="per-pass timing tree and metrics for one program")
+    p_trace.add_argument("target",
+                         help="built-in benchmark name or tinyc source file")
+    add_machine_flags(p_trace)
+    add_json_flag(p_trace)
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_sched = sub.add_parser(
         "schedule", help="dump the VLIW schedule of a program's trees")
@@ -213,6 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
         "figure6_2", "figure6_3", "figure6_4",
         "ablation_knobs", "ablation_alias_prob", "ablation_grafting",
         "ablation_combined", "all"])
+    add_json_flag(p_report)
     p_report.set_defaults(func=_cmd_report)
 
     return parser

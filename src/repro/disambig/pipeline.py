@@ -22,6 +22,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..ir.depgraph import ArcKind, DependenceGraph, build_dependence_graph, naive_oracle
 from ..ir.program import Program
 from ..ir.validate import validate_program
@@ -96,29 +97,43 @@ def disambiguate(
     working = program.copy() if kind is Disambiguator.SPEC else program
     result = DisambiguationResult(kind=kind, program=working)
 
-    if kind is Disambiguator.SPEC:
-        gain_machine = machine.with_fus(None)  # Gain() uses the infinite machine
-        for function_name, tree in working.all_trees():
-            key = (function_name, tree.name)
-            oracle = make_static_oracle(tree)
-            path_probs = None
-            stats_fn = None
-            if profile is not None:
-                if profile.executed(key) == 0:
-                    continue  # never-executed trees: no profit, skip
-                path_probs = profile.path_probabilities(key, len(tree.exits))
+    with obs.span(f"disambig.{kind.value}") as pipeline_span:
+        if kind is Disambiguator.SPEC:
+            with obs.span("disambig.spd_transform") as spd_span:
+                gain_machine = machine.with_fus(None)  # Gain(): infinite machine
+                for function_name, tree in working.all_trees():
+                    key = (function_name, tree.name)
+                    oracle = make_static_oracle(tree)
+                    path_probs = None
+                    stats_fn = None
+                    if profile is not None:
+                        if profile.executed(key) == 0:
+                            continue  # never-executed trees: no profit, skip
+                        path_probs = profile.path_probabilities(
+                            key, len(tree.exits))
 
-                def stats_fn(pair, _key=key):
-                    return profile.pair((_key[0], _key[1], pair[0], pair[1]))
+                        def stats_fn(pair, _key=key):
+                            return profile.pair(
+                                (_key[0], _key[1], pair[0], pair[1]))
 
-            spd_result = speculative_disambiguation(
-                tree, oracle, gain_machine, path_probs, spd_config, stats_fn)
-            if spd_result.applications:
-                result.spd_results[key] = spd_result
-        validate_program(working)
+                    spd_result = speculative_disambiguation(
+                        tree, oracle, gain_machine, path_probs, spd_config,
+                        stats_fn)
+                    if spd_result.applications:
+                        result.spd_results[key] = spd_result
+                        obs.incr("spd.trees_transformed")
+                        obs.incr("spd.ops_added", spd_result.ops_added)
+                spd_span.incr("spd.applications", sum(
+                    len(r.applications) for r in result.spd_results.values()))
+                validate_program(working)
 
-    for function_name, tree in working.all_trees():
-        oracle = _oracle_for(kind, function_name, tree, profile)
-        result.graphs[(function_name, tree.name)] = \
-            build_dependence_graph(tree, oracle)
+        with obs.span("disambig.build_graphs") as graphs_span:
+            for function_name, tree in working.all_trees():
+                oracle = _oracle_for(kind, function_name, tree, profile)
+                result.graphs[(function_name, tree.name)] = \
+                    build_dependence_graph(tree, oracle)
+            graphs_span.incr("trees", len(result.graphs))
+        if obs.is_enabled():
+            pipeline_span.annotate(
+                ambiguous_arcs=result.ambiguous_arc_count())
     return result

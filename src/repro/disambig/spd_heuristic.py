@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from .. import obs
 from ..ir.depgraph import (AliasOracle, Arc, ArcKind, DependenceGraph,
                            build_dependence_graph)
 from ..ir.tree import DecisionTree
@@ -111,6 +112,7 @@ def _candidate_gains(
     base = average_time(
         infinite_machine_timing(graph, machine).path_times, path_probs)
     ambiguous = graph.ambiguous_arcs()
+    obs.incr("spd.gain_evaluations", len(ambiguous))
     fans: Dict[int, List[Arc]] = {}
     for arc in ambiguous:
         fans.setdefault(arc.dst, []).append(arc)
@@ -206,7 +208,9 @@ def speculative_disambiguation(
             application = apply_spd(tree, arc)
         except SpDNotApplicable:
             rejected.add(arc.key)
+            obs.incr("spd.not_applicable")
             continue
+        obs.incr("spd.applications_attempted")
         applications.append(application)
         gains_taken.append(gain)
         current = measured_average()
@@ -222,6 +226,7 @@ def speculative_disambiguation(
             applications.pop()
             gains_taken.pop()
             rejected.add(arc.key)
+            obs.incr("spd.rollbacks")
 
     best_tree, kept = best_state
     tree.ops = best_tree.ops

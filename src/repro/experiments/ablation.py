@@ -23,7 +23,7 @@ from ..bench.suite import NRC_BENCHMARKS
 from ..disambig.pipeline import Disambiguator
 from ..disambig.spd_heuristic import SpDConfig
 from ..machine.description import machine
-from .report import format_percent, format_table
+from .report import format_percent, format_table, round6
 
 __all__ = ["KnobPoint", "KnobSweep", "AliasProbStudy", "GraftingStudy",
            "CombinedStudy", "run_knob_sweep",
@@ -55,6 +55,21 @@ class KnobSweep:
             f"Ablation A: heuristic knobs ({self.num_fus} FU, "
             f"{self.memory_latency}-cycle memory)",
             ["Config", "SPEC/STATIC", "Code growth", "Apps"], rows)
+
+    def to_dict(self) -> dict:
+        """Structured form: one record per (MaxExpansion, MinGain)."""
+        return {
+            "title": "Ablation A: heuristic knobs",
+            "num_fus": self.num_fus,
+            "memory_latency": self.memory_latency,
+            "points": [
+                {"max_expansion": p.max_expansion, "min_gain": p.min_gain,
+                 "speedup_over_static": round6(p.speedup_over_static),
+                 "code_growth": round6(p.code_growth),
+                 "applications": p.applications}
+                for p in self.points
+            ],
+        }
 
 
 def run_knob_sweep(names: List[str] = NRC_BENCHMARKS,
@@ -96,6 +111,19 @@ class AliasProbStudy:
             f"Ablation B: Gain() alias probability, SPEC/STATIC speedup "
             f"({self.num_fus} FU, {self.memory_latency}-cycle memory)",
             ["Program", "assumed 0.1", "profiled"], rows)
+
+    def to_dict(self) -> dict:
+        """Structured form: assumed-0.1 vs profiled speedups."""
+        return {
+            "title": "Ablation B: Gain() alias probability",
+            "num_fus": self.num_fus,
+            "memory_latency": self.memory_latency,
+            "results": {
+                name: {"assumed": round6(assumed),
+                       "profiled": round6(profiled)}
+                for name, (assumed, profiled) in self.results.items()
+            },
+        }
 
 
 def run_alias_probability_study(names: List[str] = NRC_BENCHMARKS,
@@ -141,6 +169,23 @@ class GraftingStudy:
             f"({self.num_fus} FU, {self.memory_latency}-cycle memory)",
             ["Program", "apps", "apps+graft", "speedup", "speedup+graft"],
             rows)
+
+    def to_dict(self) -> dict:
+        """Structured form: SpD applications/speedup with and without
+        grafting, per benchmark."""
+        return {
+            "title": "Ablation C: grafting",
+            "num_fus": self.num_fus,
+            "memory_latency": self.memory_latency,
+            "results": {
+                name: {"applications": base_apps,
+                       "applications_grafted": graft_apps,
+                       "speedup": round6(base_speedup),
+                       "speedup_grafted": round6(graft_speedup)}
+                for name, (base_apps, graft_apps, base_speedup,
+                           graft_speedup) in self.results.items()
+            },
+        }
 
 
 def run_grafting_study(names: List[str] = None, num_fus: int = 5,
@@ -191,6 +236,20 @@ class CombinedStudy:
             f"({self.memory_latency}-cycle memory, infinite machine)",
             ["Kernel", "ops iter", "ops comb",
              "t base", "t iter", "t comb"], rows)
+
+    def to_dict(self) -> dict:
+        """Structured form: per pair-count op counts and path times."""
+        return {
+            "title": "Ablation D: iterated vs combined multi-pair SpD",
+            "memory_latency": self.memory_latency,
+            "results": {
+                str(k): {"ops_iterated": it_ops, "ops_combined": co_ops,
+                         "time_base": base_time, "time_iterated": it_time,
+                         "time_combined": co_time}
+                for k, (it_ops, co_ops, it_time, co_time, base_time)
+                in sorted(self.results.items())
+            },
+        }
 
 
 def _multi_pair_tree(num_pairs: int):

@@ -18,7 +18,7 @@ from ..bench.runner import BenchmarkRunner
 from ..bench.suite import REPORTED
 from ..disambig.pipeline import Disambiguator
 from ..machine.description import machine
-from .report import format_percent, format_table
+from .report import format_percent, format_table, round6
 
 __all__ = ["Figure62", "run"]
 
@@ -54,6 +54,19 @@ class Figure62:
             ["Program", "STATIC@2", "SPEC@2", "PERFECT@2",
              "STATIC@6", "SPEC@6", "PERFECT@6"],
             self.rows())
+
+    def to_dict(self) -> dict:
+        """Structured form: speedup-over-NAIVE series per benchmark,
+        keyed by memory latency then disambiguator."""
+        series: dict = {}
+        for (name, lat), entry in sorted(self.speedups.items()):
+            series.setdefault(name, {})[str(lat)] = {
+                kind.value: round6(value) for kind, value in entry.items()}
+        return {
+            "title": "Figure 6-2: Speedup over NAIVE",
+            "num_fus": self.num_fus,
+            "series": series,
+        }
 
 
 def run(runner: BenchmarkRunner = None, names: List[str] = REPORTED,

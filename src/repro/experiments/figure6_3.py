@@ -19,7 +19,7 @@ from typing import Dict, List, Tuple
 from ..bench.runner import BenchmarkRunner
 from ..bench.suite import NRC_BENCHMARKS
 from ..machine.description import machine
-from .report import format_percent, format_table
+from .report import format_percent, format_table, round6
 
 __all__ = ["Figure63", "run"]
 
@@ -52,6 +52,23 @@ class Figure63:
                 f"({memory_latency}-cycle memory)",
                 ["Program"] + [f"{w} FU" for w in WIDTHS], rows))
         return "\n\n".join(blocks)
+
+    def to_dict(self) -> dict:
+        """Structured form: SPEC/STATIC speedup per benchmark across
+        machine widths, keyed by memory latency, plus crossover widths."""
+        series: dict = {}
+        crossover: dict = {}
+        for (name, lat), values in sorted(self.series.items()):
+            series.setdefault(name, {})[str(lat)] = [round6(v)
+                                                     for v in values]
+            crossover.setdefault(name, {})[str(lat)] = \
+                self.crossover_width(name, lat)
+        return {
+            "title": "Figure 6-3: Speedup of SPEC over STATIC vs width",
+            "widths": list(WIDTHS),
+            "series": series,
+            "crossover_width": crossover,
+        }
 
 
 def run(runner: BenchmarkRunner = None,

@@ -15,7 +15,7 @@ from typing import Dict, List, Tuple
 from ..bench.runner import BenchmarkRunner
 from ..bench.suite import REPORTED
 from ..disambig.pipeline import Disambiguator
-from .report import format_percent, format_table
+from .report import format_percent, format_table, round6
 
 __all__ = ["Figure64", "run"]
 
@@ -38,6 +38,18 @@ class Figure64:
             f"Figure 6-4: Code size increase due to SpD "
             f"({self.memory_latency}-cycle memory)",
             ["Program", "Base ops", "SPEC ops", "Increase"], self.rows())
+
+    def to_dict(self) -> dict:
+        """Structured form: base/SPEC op counts and fractional growth."""
+        return {
+            "title": "Figure 6-4: Code size increase due to SpD",
+            "memory_latency": self.memory_latency,
+            "sizes": {
+                name: {"base_ops": base, "spec_ops": spec,
+                       "growth": round6(growth)}
+                for name, (base, spec, growth) in self.sizes.items()
+            },
+        }
 
 
 def run(runner: BenchmarkRunner = None, names: List[str] = REPORTED,

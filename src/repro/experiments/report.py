@@ -1,10 +1,21 @@
-"""Plain-text rendering of experiment tables (the paper's rows/series)."""
+"""Rendering of experiment tables: plain text and machine-readable.
+
+Every experiment result class renders two ways: ``render()`` produces
+the fixed-width terminal table (the paper's rows/series), ``to_dict()``
+a plain JSON-serialisable dict with the same data as structured series.
+``repro report --json`` collects the latter.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
-__all__ = ["format_table", "format_percent"]
+__all__ = ["format_table", "format_percent", "round6"]
+
+
+def round6(value: float) -> float:
+    """Round a float series entry for stable, readable JSON export."""
+    return round(value, 6)
 
 
 def format_percent(value: float) -> str:

@@ -57,6 +57,18 @@ class Table61:
         return format_table("Table 6-1: Operation latencies",
                             ["Operation", "Latency (cyc)"], self.rows())
 
+    def to_dict(self) -> dict:
+        """Structured form: per-class latencies for both memory models."""
+        return {
+            "title": "Table 6-1: Operation latencies",
+            "latencies": {
+                label: {"mem2": getattr(self.mem2, attr),
+                        "mem6": getattr(self.mem6, attr)}
+                for label, attr in _ROWS
+            },
+            "matches_paper": self.matches_paper(),
+        }
+
 
 def run() -> Table61:
     """Regenerate Table 6-1 from the machine model."""

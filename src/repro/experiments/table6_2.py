@@ -24,6 +24,17 @@ class Table62:
             "Table 6-2: Benchmark descriptions (Lines = tinyc port)",
             ["Benchmark", "Suite", "Lines", "Description"], self.rows())
 
+    def to_dict(self) -> dict:
+        """Structured form: one record per benchmark."""
+        return {
+            "title": "Table 6-2: Benchmark descriptions",
+            "benchmarks": {
+                b.name: {"suite": b.suite, "lines": b.source_lines,
+                         "description": b.description}
+                for b in self.benchmarks
+            },
+        }
+
 
 def run(names: List[str] = REPORTED) -> Table62:
     """Regenerate Table 6-2 from the benchmark registry."""

@@ -56,6 +56,26 @@ class Table63:
              "RAW@6", "WAR@6", "WAW@6"],
             self.rows())
 
+    def to_dict(self) -> dict:
+        """Structured form: per-benchmark and total (raw, war, waw)
+        counts keyed by memory latency."""
+        def triple(values):
+            raw, war, waw = values
+            return {"raw": raw, "war": war, "waw": waw}
+
+        return {
+            "title": "Table 6-3: Frequency of SpD application",
+            "counts": {
+                name: {str(lat): triple(per_latency[lat])
+                       for lat in sorted(per_latency)}
+                for name, per_latency in self.counts.items()
+            },
+            "totals": {str(lat): triple(self.totals(lat))
+                       for lat in (2, 6)},
+            "paper_totals": {str(lat): triple(PAPER_TOTALS[lat])
+                             for lat in (2, 6)},
+        }
+
 
 def run(runner: BenchmarkRunner = None,
         names: List[str] = REPORTED) -> Table63:

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from .. import obs
 from ..ir.guards import Guard
 from ..ir.operations import Opcode, Operation
 from ..ir.program import Function, Program
@@ -268,19 +269,23 @@ def graft_program(program: Program,
     observable behaviour is identical (tested property-based), but its
     decision trees are larger, which is the point.
     """
-    grafted = program.copy()
-    stats = GraftStats(ops_before=program.size())
-    for function in grafted.functions.values():
-        grafter = _Grafter(function, config)
-        for _pass in range(config.max_passes):
-            changed = False
-            for tree in list(function.trees.values()):
-                while grafter.graft_one(tree):
-                    stats.grafts += 1
-                    changed = True
-            if not changed:
-                break
-        stats.trees_removed += _prune_unreachable(function)
-    stats.ops_after = grafted.size()
-    validate_program(grafted)
+    with obs.span("frontend.graft") as span:
+        grafted = program.copy()
+        stats = GraftStats(ops_before=program.size())
+        for function in grafted.functions.values():
+            grafter = _Grafter(function, config)
+            for _pass in range(config.max_passes):
+                changed = False
+                for tree in list(function.trees.values()):
+                    while grafter.graft_one(tree):
+                        stats.grafts += 1
+                        changed = True
+                if not changed:
+                    break
+            stats.trees_removed += _prune_unreachable(function)
+        stats.ops_after = grafted.size()
+        validate_program(grafted)
+        span.incr("grafts", stats.grafts)
+        span.incr("trees_removed", stats.trees_removed)
+        span.annotate(ops_before=stats.ops_before, ops_after=stats.ops_after)
     return grafted, stats

@@ -22,6 +22,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from .guard_analysis import GuardAnalysis
 from .guards import Guard, guards_disjoint
 from .operations import Operation
@@ -276,4 +277,9 @@ def build_dependence_graph(
     for arc in arcs:
         ident = (arc.src, arc.dst, arc.kind, arc.via_guard)
         unique.setdefault(ident, arc)
-    return DependenceGraph(tree, list(unique.values()))
+    graph = DependenceGraph(tree, list(unique.values()))
+    if obs.is_enabled():
+        obs.incr("depgraph.builds")
+        obs.incr("depgraph.arcs", len(graph.arcs))
+        obs.incr("depgraph.ambiguous_arcs", len(graph.ambiguous_arcs()))
+    return graph

@@ -1,0 +1,96 @@
+"""Metrics registry: named counters, gauges and summary histograms.
+
+The registry is a plain in-process aggregation point — the pipeline's
+equivalent of the profiling counters the paper's platform keeps (path
+frequencies, alias counts).  Three metric families:
+
+* **counters** — monotonically accumulated totals (``incr``), e.g.
+  ``depgraph.builds`` or ``spd.gain_evaluations``;
+* **gauges** — last-write-wins values (``set_gauge``), e.g. the cycle
+  count of the most recent evaluation;
+* **histograms** — summary statistics of observed samples (``observe``):
+  count, total, min, max and mean.  Span durations land here under
+  ``span.<name>``, giving a per-stage wall-time breakdown for free.
+
+Snapshots are plain dicts, ready for JSON export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["HistogramSummary", "MetricsRegistry"]
+
+
+@dataclass
+class HistogramSummary:
+    """Streaming summary of one observed series."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"count": self.count, "total": round(self.total, 3),
+                "min": round(self.min, 3), "max": round(self.max, 3),
+                "mean": round(self.mean, 3)}
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms with dict snapshots."""
+
+    def __init__(self):
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, HistogramSummary] = {}
+
+    def incr(self, name: str, amount: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        summary = self.histograms.get(name)
+        if summary is None:
+            summary = self.histograms[name] = HistogramSummary()
+        summary.add(value)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold *other* into this registry (counters add, gauges
+        overwrite, histograms combine)."""
+        for name, amount in other.counters.items():
+            self.incr(name, amount)
+        self.gauges.update(other.gauges)
+        for name, theirs in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = HistogramSummary()
+            mine.count += theirs.count
+            mine.total += theirs.total
+            mine.min = min(mine.min, theirs.min)
+            mine.max = max(mine.max, theirs.max)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-dict snapshot: ``{"counters", "gauges", "histograms"}``."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {name: summary.to_dict()
+                           for name, summary in
+                           sorted(self.histograms.items())},
+        }

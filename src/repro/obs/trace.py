@@ -1,0 +1,244 @@
+"""Hierarchical span tracer.
+
+A :class:`Tracer` records a tree of :class:`Span` objects — one span per
+pipeline stage (compile, graft, disambiguate, schedule, ...) — each with
+wall-clock duration, free-form attributes and numeric counters.  The
+tracer is explicitly installed (see :mod:`repro.obs`); when none is
+installed every instrumentation point in the code base reduces to a
+single ``None`` check, so the instrumented pipeline runs at full speed.
+
+The public surface deliberately mirrors the shape of mainstream tracing
+APIs (a context-manager ``span``, attributes, counters) without any
+external dependency::
+
+    tracer = Tracer()
+    with tracer.span("frontend.compile", source="fft") as sp:
+        with tracer.span("frontend.parse"):
+            ...
+        sp.incr("trees", 12)
+    root = tracer.finish()
+    print(format_span_tree(root))
+
+Spans serialise to plain dicts (:meth:`Span.to_dict`) for JSON export.
+The tracer is single-threaded by design, matching the pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from .metrics import MetricsRegistry
+
+__all__ = ["Span", "Tracer", "NullSpan", "NULL_SPAN", "format_span_tree"]
+
+
+class Span:
+    """One timed region of the pipeline: name, duration, children."""
+
+    __slots__ = ("name", "attributes", "counters", "children",
+                 "start_s", "end_s")
+
+    def __init__(self, name: str,
+                 attributes: Optional[Dict[str, object]] = None):
+        self.name = name
+        self.attributes: Dict[str, object] = dict(attributes or {})
+        self.counters: Dict[str, float] = {}
+        self.children: List["Span"] = []
+        self.start_s: float = 0.0
+        self.end_s: Optional[float] = None
+
+    # -- recording -----------------------------------------------------------
+
+    def annotate(self, **attributes: object) -> None:
+        """Attach (or overwrite) free-form attributes."""
+        self.attributes.update(attributes)
+
+    def incr(self, name: str, amount: float = 1) -> None:
+        """Add *amount* to this span's counter *name*."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_s * 1e3
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (stable schema, JSON-serialisable)."""
+        out: Dict[str, object] = {
+            "name": self.name,
+            "duration_ms": round(self.duration_ms, 3),
+        }
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, {self.duration_ms:.1f}ms, "
+                f"{len(self.children)} children)")
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Tracer.span`.
+
+    A tiny dedicated class (rather than ``contextlib.contextmanager``)
+    so entering a span costs one object and two method calls.
+    """
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        span = self._span
+        tracer._stack[-1].children.append(span)
+        tracer._stack.append(span)
+        span.start_s = tracer._clock()
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        span = self._span
+        span.end_s = tracer._clock()
+        stack = tracer._stack
+        if len(stack) > 1 and stack[-1] is span:
+            stack.pop()
+        tracer.metrics.observe(f"span.{span.name}", span.duration_ms)
+        if exc_type is not None:
+            span.annotate(error=f"{exc_type.__name__}: {exc}")
+        return False
+
+
+class Tracer:
+    """Builds a span tree plus an aggregate :class:`MetricsRegistry`.
+
+    ``clock`` is injectable for deterministic tests; it defaults to
+    :func:`time.perf_counter`.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self.metrics = MetricsRegistry()
+        self.root = Span("trace")
+        self.root.start_s = clock()
+        self._stack: List[Span] = [self.root]
+
+    @property
+    def current(self) -> Span:
+        """The innermost open span (the root when none is open)."""
+        return self._stack[-1]
+
+    def span(self, name: str, **attributes: object) -> _SpanContext:
+        """Open a child span of the current span (context manager)."""
+        return _SpanContext(self, Span(name, attributes))
+
+    def incr(self, name: str, amount: float = 1) -> None:
+        """Count on the current span *and* the aggregate registry."""
+        self._stack[-1].incr(name, amount)
+        self.metrics.incr(name, amount)
+
+    def annotate(self, **attributes: object) -> None:
+        """Attach attributes to the current span."""
+        self._stack[-1].annotate(**attributes)
+
+    def finish(self) -> Span:
+        """Close the root span (and any spans left open) and return it."""
+        now = self._clock()
+        while len(self._stack) > 1:
+            self._stack.pop().end_s = now
+        if self.root.end_s is None:
+            self.root.end_s = now
+        return self.root
+
+    def to_dict(self) -> Dict[str, object]:
+        """``{"trace": <span tree>, "metrics": <registry snapshot>}``."""
+        return {"trace": self.finish().to_dict(),
+                "metrics": self.metrics.snapshot()}
+
+
+class NullSpan:
+    """No-op stand-in used when no tracer is installed.
+
+    Supports the full :class:`Span` recording surface so instrumented
+    code never needs to branch on whether tracing is enabled.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def annotate(self, **attributes: object) -> None:
+        pass
+
+    def incr(self, name: str, amount: float = 1) -> None:
+        pass
+
+
+#: Shared singleton: the disabled-tracing fast path allocates nothing.
+NULL_SPAN = NullSpan()
+
+
+#: Inline attribute/counter budget per line in :func:`format_span_tree`;
+#: the full set is always available via :meth:`Span.to_dict`.
+_MAX_EXTRAS = 6
+
+
+def _format_extras(span: Span) -> str:
+    parts = []
+    for key, value in span.attributes.items():
+        parts.append(f"{key}={value}")
+    for key, value in span.counters.items():
+        rendered = f"{value:g}" if isinstance(value, float) else str(value)
+        parts.append(f"{key}={rendered}")
+    if len(parts) > _MAX_EXTRAS:
+        hidden = len(parts) - _MAX_EXTRAS
+        parts = parts[:_MAX_EXTRAS] + [f"(+{hidden} more)"]
+    return "  ".join(parts)
+
+
+def format_span_tree(span: Span, indent: str = "") -> str:
+    """Render a span tree as an indented text outline with durations.
+
+    ::
+
+        trace                          812.4ms
+        |- frontend.compile             45.2ms  ops=198
+        |  `- frontend.parse             8.1ms
+        `- sim.run                     320.0ms  steps=91342
+    """
+    lines: List[str] = []
+
+    def walk(node: Span, prefix: str, connector: str) -> None:
+        label = prefix + connector + node.name
+        line = f"{label:<44s} {node.duration_ms:10.2f}ms"
+        extras = _format_extras(node)
+        if extras:
+            line += "  " + extras
+        lines.append(line.rstrip())
+        child_prefix = prefix
+        if connector:
+            child_prefix += "|  " if connector.startswith("|-") else "   "
+        for i, child in enumerate(node.children):
+            last = i == len(node.children) - 1
+            walk(child, child_prefix, "`- " if last else "|- ")
+
+    walk(span, indent, "")
+    return "\n".join(lines)

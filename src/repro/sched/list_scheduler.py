@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
+from .. import obs
 from ..ir.depgraph import ArcKind, DependenceGraph
 from ..machine.description import LifeMachine
 from ..sim.timing import (TreeTiming, guard_completion_floor,
@@ -105,6 +106,10 @@ def list_schedule(graph: DependenceGraph, machine: LifeMachine) -> Schedule:
 
     path_times = [completion[graph.exit_node(e)]
                   for e in range(len(graph.tree.exits))]
+    if obs.is_enabled():
+        obs.incr("sched.trees_scheduled")
+        obs.incr("sched.ops_scheduled", num_nodes)
+        obs.incr("sched.cycles_filled", cycle)
     return Schedule(issue, completion, path_times, num_fus, slots)
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from .. import obs
 from ..ir.depgraph import DependenceGraph
 from ..ir.program import Program
 from ..machine.description import LifeMachine
@@ -73,17 +74,21 @@ def evaluate_program(
     """
     from ..sched.list_scheduler import schedule_tree  # avoid import cycle
 
-    total = 0
-    reports: Dict[TreeKey, TreeReport] = {}
-    for function_name, tree in program.all_trees():
-        key = (function_name, tree.name)
-        executions = profile.executed(key)
-        if executions == 0:
-            continue
-        counts = profile.exit_counts.get(key, [0] * len(tree.exits))
-        timing: TreeTiming = schedule_tree(graphs[key], machine)
-        cycles = sum(c * t for c, t in zip(counts, timing.path_times))
-        reports[key] = TreeReport(key, executions, list(timing.path_times),
-                                  list(counts), cycles)
-        total += cycles
+    with obs.span("timing.evaluate", machine=machine.name) as span:
+        total = 0
+        reports: Dict[TreeKey, TreeReport] = {}
+        for function_name, tree in program.all_trees():
+            key = (function_name, tree.name)
+            executions = profile.executed(key)
+            if executions == 0:
+                continue
+            counts = profile.exit_counts.get(key, [0] * len(tree.exits))
+            timing: TreeTiming = schedule_tree(graphs[key], machine)
+            cycles = sum(c * t for c, t in zip(counts, timing.path_times))
+            reports[key] = TreeReport(key, executions,
+                                      list(timing.path_times),
+                                      list(counts), cycles)
+            total += cycles
+        span.incr("trees_timed", len(reports))
+        span.annotate(cycles=total)
     return ProgramTiming(machine, total, reports)

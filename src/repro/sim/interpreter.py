@@ -20,6 +20,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
+from .. import obs
 from ..ir.operations import Opcode, Operation
 from ..ir.program import Program
 from ..ir.tree import DecisionTree, ExitKind
@@ -152,6 +153,14 @@ class Interpreter:
         self.output: List[Number] = []
         self.profile = ProfileData()
         self.steps = 0
+        # observability tallies (populated only while a tracer is
+        # installed; see _flush_obs).  Guard squashes are counted in the
+        # skip branch and the executed-op histogram is reconstructed
+        # afterwards from static per-tree opcode counts x dynamic tree
+        # execution counts, so the per-op hot path carries no check.
+        self._obs_on = False
+        self._obs_tree_execs: Dict[Tuple[str, str], int] = {}
+        self._obs_squashed: Dict[str, int] = {}
 
     # -- operand/guard evaluation -------------------------------------------
 
@@ -181,6 +190,14 @@ class Interpreter:
     # -- execution -----------------------------------------------------------
 
     def run(self, args: Tuple[Number, ...] = ()) -> RunResult:
+        with obs.span("sim.run") as run_span:
+            result = self._run(args)
+            if self._obs_on:
+                self._flush_obs(run_span)
+        return result
+
+    def _run(self, args: Tuple[Number, ...]) -> RunResult:
+        self._obs_on = obs.is_enabled()
         entry = self.program.functions[self.program.entry_function]
         if len(args) != len(entry.params):
             raise InterpreterError(
@@ -231,6 +248,9 @@ class Interpreter:
         tree = self.program.functions[frame.function].trees[frame.tree]
         regs = frame.regs
         memory = self.memory
+        if self._obs_on:
+            key = (frame.function, frame.tree)
+            self._obs_tree_execs[key] = self._obs_tree_execs.get(key, 0) + 1
         mem_trace: Optional[List[Tuple[int, int, bool]]] = (
             [] if self.collect_profile else None)
 
@@ -242,6 +262,10 @@ class Interpreter:
 
         for op in tree.ops:
             if not self._guard_true(regs, op.guard):
+                if self._obs_on:
+                    name = op.opcode.name
+                    self._obs_squashed[name] = \
+                        self._obs_squashed.get(name, 0) + 1
                 continue
             opcode = op.opcode
             if opcode is Opcode.LOAD:
@@ -306,6 +330,43 @@ class Interpreter:
         if not 0 <= addr < len(self.memory):
             raise InterpreterError(
                 f"address {addr} out of range [0, {len(self.memory)})")
+
+    # -- observability --------------------------------------------------------
+
+    def _flush_obs(self, run_span) -> None:
+        """Publish simulator metrics: per-tree execution counts, an
+        executed-op histogram, and guard commit/squash tallies.
+
+        Every op of a tree is *issued* each execution; ops whose guard
+        evaluated false were squashed (counted dynamically), the rest
+        executed.  Issued counts are therefore static per-tree opcode
+        counts scaled by the dynamic execution counts.
+        """
+        issued: Dict[str, int] = {}
+        guarded_issues = 0
+        total_execs = 0
+        for (func_name, tree_name), execs in self._obs_tree_execs.items():
+            total_execs += execs
+            obs.incr(f"sim.tree.{func_name}:{tree_name}", execs)
+            tree = self.program.functions[func_name].trees[tree_name]
+            for op in tree.ops:
+                name = op.opcode.name
+                issued[name] = issued.get(name, 0) + execs
+                if op.guard is not None:
+                    guarded_issues += execs
+        squashed_total = 0
+        for name, count in issued.items():
+            squashed = self._obs_squashed.get(name, 0)
+            squashed_total += squashed
+            executed = count - squashed
+            if executed:
+                obs.incr(f"sim.ops.{name}", executed)
+        obs.incr("sim.tree_executions", total_execs)
+        obs.incr("sim.guard_squashed", squashed_total)
+        obs.incr("sim.guard_committed", guarded_issues - squashed_total)
+        obs.incr("sim.steps", self.steps)
+        run_span.annotate(steps=self.steps, output_values=len(self.output),
+                          tree_executions=total_execs)
 
 
 def run_program(program: Program, args: Tuple[Number, ...] = (),

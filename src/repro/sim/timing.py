@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from .. import obs
 from ..ir.depgraph import Arc, ArcKind, DependenceGraph
 from ..machine.description import LifeMachine
 
@@ -103,6 +104,7 @@ def infinite_machine_timing(graph: DependenceGraph,
     num_nodes = graph.num_nodes
     issue = [0] * num_nodes
     completion = [0] * num_nodes
+    obs.incr("timing.infinite_evals")
 
     for node in range(num_nodes):
         preds = graph.preds(node)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -58,6 +60,34 @@ class TestAnalyze:
         assert main(["analyze", demo_source, "--fus", "0"]) == 0
         assert "life-inffu" in capsys.readouterr().out
 
+    def test_spd_knob_flags(self, demo_source, capsys):
+        assert main(["analyze", demo_source, "--max-expansion", "1.25",
+                     "--min-gain", "0.25", "--profiled-alias"]) == 0
+        assert "spec" in capsys.readouterr().out
+
+    def test_json_unwritable_path(self, demo_source, capsys):
+        assert main(["analyze", demo_source,
+                     "--json", "/nonexistent-dir/out.json"]) == 2
+        assert "cannot write --json output" in capsys.readouterr().err
+
+    def test_json_export(self, demo_source, capsys, tmp_path):
+        out_path = tmp_path / "analysis.json"
+        assert main(["analyze", demo_source, "--fus", "4",
+                     "--json", str(out_path)]) == 0
+        text = capsys.readouterr().out
+        assert "naive" in text  # text output still printed
+        data = json.loads(out_path.read_text())
+        assert data["schema"] == "repro.analysis/1"
+        assert set(data["disambiguators"]) == {"naive", "static", "spec",
+                                               "perfect"}
+        for entry in data["disambiguators"].values():
+            assert entry["cycles"] > 0
+        assert data["disambiguators"]["spec"]["spd_counts"].keys() == \
+            {"raw", "war", "waw"}
+        assert data["machine"]["num_fus"] == 4
+        assert data["trace"]["name"] == "trace"
+        assert "counters" in data["metrics"]
+
 
 class TestBench:
     def test_known_benchmark(self, capsys):
@@ -66,6 +96,54 @@ class TestBench:
 
     def test_unknown_benchmark(self, capsys):
         assert main(["bench", "nonesuch"]) == 2
+
+    def test_bench_honors_spd_knobs(self, capsys):
+        # an impossible MinGain suppresses every SpD application
+        assert main(["bench", "perm", "--memory", "2",
+                     "--min-gain", "1000000"]) == 0
+        out = capsys.readouterr().out
+        assert "SpD: none" in out
+
+    def test_json_export(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        assert main(["bench", "perm", "--memory", "2",
+                     "--json", str(out_path)]) == 0
+        data = json.loads(out_path.read_text())
+        assert data["schema"] == "repro.analysis/1"
+        assert data["program"] == "perm"
+        assert data["disambiguators"]["spec"]["cycles"] > 0
+
+
+class TestTrace:
+    def test_builtin_benchmark(self, capsys):
+        assert main(["trace", "perm", "--memory", "2"]) == 0
+        out = capsys.readouterr().out
+        # nested per-pass timing tree
+        for stage in ("pipeline", "frontend.compile", "frontend.parse",
+                      "sim.run", "analyze.spec", "disambig.spec",
+                      "timing.evaluate"):
+            assert stage in out, stage
+        assert "ms" in out
+        assert "metrics:" in out
+        assert "depgraph.builds" in out
+
+    def test_source_file(self, demo_source, capsys):
+        assert main(["trace", demo_source, "--fus", "2"]) == 0
+        assert "frontend.compile" in capsys.readouterr().out
+
+    def test_unknown_target(self, capsys):
+        assert main(["trace", "/no/such/file.tc"]) == 2
+
+    def test_json_export(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "perm", "--memory", "2",
+                     "--json", str(out_path)]) == 0
+        data = json.loads(out_path.read_text())
+        assert data["schema"] == "repro.trace/1"
+        assert data["program"] == "perm"
+        names = {child["name"] for child in data["trace"]["children"]}
+        assert "pipeline" in names
+        assert data["metrics"]["counters"]["sim.steps"] > 0
 
 
 class TestListAndReport:

@@ -1,0 +1,66 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import HistogramSummary, MetricsRegistry
+
+
+class TestCounters:
+    def test_incr_accumulates(self):
+        registry = MetricsRegistry()
+        registry.incr("a")
+        registry.incr("a", 4)
+        assert registry.counters["a"] == 5
+
+    def test_gauge_overwrites(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("g", 1)
+        registry.set_gauge("g", 9)
+        assert registry.gauges["g"] == 9
+
+
+class TestHistograms:
+    def test_observe_summarises(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 3.0, 2.0):
+            registry.observe("h", value)
+        summary = registry.histograms["h"]
+        assert summary.count == 3
+        assert summary.total == pytest.approx(6.0)
+        assert summary.min == 1.0
+        assert summary.max == 3.0
+        assert summary.mean == pytest.approx(2.0)
+
+    def test_empty_summary_mean(self):
+        assert HistogramSummary().mean == 0.0
+
+
+class TestSnapshotAndMerge:
+    def test_snapshot_is_json_serialisable_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.incr("z", 1)
+        registry.incr("a", 2)
+        registry.set_gauge("g", 7)
+        registry.observe("h", 1.5)
+        snap = registry.snapshot()
+        json.dumps(snap)  # must not raise
+        assert list(snap["counters"]) == ["a", "z"]
+        assert snap["gauges"] == {"g": 7}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_merge_combines_families(self):
+        left = MetricsRegistry()
+        right = MetricsRegistry()
+        left.incr("n", 1)
+        right.incr("n", 2)
+        right.set_gauge("g", 3)
+        left.observe("h", 1.0)
+        right.observe("h", 5.0)
+        left.merge(right)
+        assert left.counters["n"] == 3
+        assert left.gauges["g"] == 3
+        assert left.histograms["h"].count == 2
+        assert left.histograms["h"].min == 1.0
+        assert left.histograms["h"].max == 5.0
