@@ -9,6 +9,7 @@ regeneration with pytest-benchmark.  Run with::
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -16,6 +17,20 @@ import pytest
 from repro.bench.runner import BenchmarkRunner
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_cache(tmp_path_factory):
+    """Isolate the artifact store from the user's ``~/.cache/repro-spd``."""
+    if os.environ.get("REPRO_CACHE_DIR") is not None:
+        yield
+        return
+    cache_dir = tmp_path_factory.mktemp("repro-cache")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    try:
+        yield
+    finally:
+        os.environ.pop("REPRO_CACHE_DIR", None)
 
 
 @pytest.fixture(scope="session")

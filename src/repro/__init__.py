@@ -27,7 +27,7 @@ Quickstart::
     print(evaluate_program(spec.program, spec.graphs, mach, profile).cycles)
 """
 
-from . import obs
+from . import obs, pipeline
 from .disambig import (DisambiguationResult, Disambiguator, SpDConfig,
                        apply_spd, disambiguate, speculative_disambiguation)
 from .frontend import CompileError, compile_source
@@ -56,6 +56,7 @@ __all__ = [
     "machine",
     "obs",
     "paper_machines",
+    "pipeline",
     "run_program",
     "speculative_disambiguation",
     "__version__",

@@ -1,4 +1,4 @@
-"""Benchmark runner: compile, profile, disambiguate, time.
+"""Benchmark runner: a thin façade over :mod:`repro.pipeline`.
 
 Mirrors the paper's experimental flow (Section 6.1): "The C compiler
 generates decision trees from the benchmark source codes.  The decision
@@ -7,25 +7,31 @@ simulator, which produces an execution cycle count.  It also produces
 the program output, which is used to validate the correctness of the
 decision trees."
 
-Compilation and profiling results are cached per benchmark (they do not
-depend on the machine configuration); disambiguation is cached per
-(benchmark, disambiguator, memory latency) since only SPEC's Gain()
-estimates see the latency table.
+The runner resolves benchmark *names* to sources and delegates every
+stage to a :class:`~repro.pipeline.core.Pipeline`, which caches each
+artifact in a two-tier (memory + disk) content-addressed store — so
+repeated invocations, other processes and parallel workers all share
+work.  The pre-pipeline public API (:meth:`compiled`, :meth:`view`,
+:meth:`timing` and the headline metrics) is preserved verbatim;
+:meth:`prefetch_timings` / :meth:`prefetch_views` add the parallel
+fan-out used by the experiment harness.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
 
-from .. import obs
-from ..disambig.pipeline import DisambiguationResult, Disambiguator, disambiguate
+from ..disambig.pipeline import DisambiguationResult, Disambiguator
 from ..disambig.spd_heuristic import SpDConfig
-from ..frontend.grafting import GraftConfig, graft_program
+from ..frontend.grafting import GraftConfig
 from ..ir.program import Program
-from ..machine.description import LifeMachine, machine
-from ..sim.evaluate import ProgramTiming, evaluate_program
-from ..sim.interpreter import RunResult, run_program
+from ..machine.description import LifeMachine
+from ..pipeline.core import Pipeline
+from ..pipeline.executor import TimingJob, ViewJob
+from ..pipeline.store import ArtifactStore
+from ..sim.evaluate import ProgramTiming
+from ..sim.interpreter import RunResult
 from .suite import Benchmark, get_benchmark
 
 __all__ = ["CompiledBenchmark", "BenchmarkRunner"]
@@ -49,79 +55,65 @@ class CompiledBenchmark:
 
 
 class BenchmarkRunner:
-    """Caches every stage of the paper's experimental flow."""
+    """Name-addressed façade over the artifact-store pipeline."""
 
     def __init__(self, spd_config: SpDConfig = SpDConfig(),
                  validate_spec_output: bool = True,
-                 graft: Optional[GraftConfig] = None):
+                 graft: Optional[GraftConfig] = None,
+                 jobs: int = 1,
+                 store: Optional[ArtifactStore] = None):
         self.spd_config = spd_config
         self.validate_spec_output = validate_spec_output
         self.graft = graft
+        self.jobs = jobs
+        self.pipeline = Pipeline(spd_config=spd_config, graft=graft,
+                                 validate_spec_output=validate_spec_output,
+                                 store=store)
         self._compiled: Dict[str, CompiledBenchmark] = {}
-        self._views: Dict[Tuple[str, Disambiguator, int],
-                          DisambiguationResult] = {}
-        self._timings: Dict[Tuple[str, Disambiguator, Optional[int], int],
-                            ProgramTiming] = {}
 
     # -- stages ------------------------------------------------------------
 
     def compiled(self, name: str) -> CompiledBenchmark:
         cached = self._compiled.get(name)
         if cached is None:
-            from ..frontend.driver import compile_source
-            with obs.span("bench.compile", benchmark=name):
-                benchmark = get_benchmark(name)
-                program = compile_source(benchmark.source)
-                if self.graft is not None:
-                    # grafting changes the tree structure, so the profile
-                    # is collected on (and the pipelines run against) the
-                    # grafted program
-                    program, _stats = graft_program(program, self.graft)
-                reference = run_program(program)
-            cached = CompiledBenchmark(benchmark, program, reference)
+            benchmark = get_benchmark(name)
+            artifact = self.pipeline.compiled(name, benchmark.source)
+            profiled = self.pipeline.profile(name, benchmark.source)
+            cached = CompiledBenchmark(benchmark, artifact.program,
+                                       profiled.reference)
             self._compiled[name] = cached
-        else:
-            obs.incr("bench.cache_hits.compiled")
         return cached
 
     def view(self, name: str, kind: Disambiguator,
              memory_latency: int = 2) -> DisambiguationResult:
-        key = (name, kind, memory_latency if kind is Disambiguator.SPEC else 0)
-        cached = self._views.get(key)
-        if cached is None:
-            compiled = self.compiled(name)
-            with obs.span("bench.disambiguate", benchmark=name,
-                          kind=kind.value, memory_latency=memory_latency):
-                cached = disambiguate(
-                    compiled.program, kind, profile=compiled.profile,
-                    machine=machine(None, memory_latency),
-                    spd_config=self.spd_config)
-                if kind is Disambiguator.SPEC and self.validate_spec_output:
-                    transformed = run_program(cached.program.copy(),
-                                              collect_profile=False)
-                    if not compiled.reference.output_equal(transformed):
-                        raise AssertionError(
-                            f"SpD changed the output of benchmark {name!r}")
-            self._views[key] = cached
-        else:
-            obs.incr("bench.cache_hits.view")
-        return cached
+        source = get_benchmark(name).source
+        return self.pipeline.view(name, source, kind, memory_latency).result
 
     def timing(self, name: str, kind: Disambiguator,
                mach: LifeMachine) -> ProgramTiming:
-        key = (name, kind, mach.num_fus, mach.memory_latency)
-        cached = self._timings.get(key)
-        if cached is None:
-            compiled = self.compiled(name)
-            view = self.view(name, kind, mach.memory_latency)
-            with obs.span("bench.timing", benchmark=name, kind=kind.value,
-                          machine=mach.name):
-                cached = evaluate_program(view.program, view.graphs, mach,
-                                          compiled.profile)
-            self._timings[key] = cached
-        else:
-            obs.incr("bench.cache_hits.timing")
-        return cached
+        source = get_benchmark(name).source
+        return self.pipeline.timing(name, source, kind, mach).timing
+
+    # -- parallel fan-out ----------------------------------------------------
+
+    def prefetch_timings(self,
+                         specs: Iterable[Tuple[str, Disambiguator,
+                                               LifeMachine]],
+                         jobs: Optional[int] = None) -> None:
+        """Warm the cache for a batch of (name, kind, machine) timings,
+        using ``jobs`` worker processes (default: the runner's knob)."""
+        job_list = [TimingJob(name, get_benchmark(name).source, kind, mach)
+                    for name, kind, mach in specs]
+        self.pipeline.prefetch(job_list, self.jobs if jobs is None else jobs)
+
+    def prefetch_views(self,
+                       specs: Iterable[Tuple[str, Disambiguator, int]],
+                       jobs: Optional[int] = None) -> None:
+        """Warm the cache for a batch of (name, kind, memory_latency)
+        disambiguated views."""
+        job_list = [ViewJob(name, get_benchmark(name).source, kind, latency)
+                    for name, kind, latency in specs]
+        self.pipeline.prefetch(job_list, self.jobs if jobs is None else jobs)
 
     # -- headline metrics ----------------------------------------------------
 

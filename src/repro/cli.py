@@ -13,11 +13,15 @@ Usage (also via ``python -m repro``)::
 Options shared by ``analyze``/``bench``/``trace``/``schedule``:
 ``--fus N`` (default 5, 0 = infinite), ``--memory {2,6}`` (default 6),
 ``--graft``, and the SpD heuristic knobs ``--max-expansion``,
-``--min-gain``, ``--profiled-alias``.
+``--min-gain``, ``--profiled-alias`` (``report`` honors the SpD knobs
+too).
 
 ``analyze``, ``bench``, ``trace`` and ``report`` accept ``--json OUT``
 to write a machine-readable result (schemas in docs/observability.md)
 alongside the unchanged text output; ``OUT`` may be ``-`` for stdout.
+``bench`` and ``report`` accept ``--jobs N`` to fan the timing matrix
+out over worker processes, and both are served from the artifact cache
+(``$REPRO_CACHE_DIR``, see docs/architecture.md) on repeat runs.
 """
 
 from __future__ import annotations
@@ -101,8 +105,13 @@ def _cmd_compile(args) -> int:
 
 def _analyze(program, mach, label: str,
              spd_config: SpDConfig = SpDConfig(),
-             reference=None) -> dict:
-    """Print the per-disambiguator cycle table; return it structured."""
+             reference=None, stages=None) -> dict:
+    """Print the per-disambiguator cycle table; return it structured.
+
+    ``stages(kind) -> (view, timing)``, when given, supplies the
+    per-disambiguator results (e.g. from the cached benchmark pipeline)
+    instead of the ad-hoc computation used for loose source files.
+    """
     if reference is None:
         reference = run_program(program)
     print(f"{label}: {program.size()} ops, output {reference.output[:6]}"
@@ -112,10 +121,13 @@ def _analyze(program, mach, label: str,
                   "machine": _machine_dict(mach), "disambiguators": {}}
     naive_cycles: Optional[int] = None
     for kind in Disambiguator:
-        view = disambiguate(program, kind, profile=reference.profile,
-                            machine=mach, spd_config=spd_config)
-        timing = evaluate_program(view.program, view.graphs, mach,
-                                  reference.profile)
+        if stages is not None:
+            view, timing = stages(kind)
+        else:
+            view = disambiguate(program, kind, profile=reference.profile,
+                                machine=mach, spd_config=spd_config)
+            timing = evaluate_program(view.program, view.graphs, mach,
+                                      reference.profile)
         if kind is Disambiguator.NAIVE:
             naive_cycles = timing.cycles
         speedup = naive_cycles / timing.cycles - 1 if timing.cycles else 0.0
@@ -135,17 +147,19 @@ def _analyze(program, mach, label: str,
     return data
 
 
-def _run_analysis(args, program, label: str, reference=None) -> int:
+def _run_analysis(args, program, label: str, reference=None,
+                  stages=None) -> int:
     """Shared analyze/bench tail: text table, optional JSON + trace."""
     mach = _machine_from(args)
     spd_config = _spd_config_from(args)
     if args.json:
         with obs.tracing() as tracer:
-            data = _analyze(program, mach, label, spd_config, reference)
+            data = _analyze(program, mach, label, spd_config, reference,
+                            stages)
         payload = {"schema": "repro.analysis/1", **data,
                    **tracer.to_dict()}
         return _write_json(args.json, payload)
-    _analyze(program, mach, label, spd_config, reference)
+    _analyze(program, mach, label, spd_config, reference, stages)
     return 0
 
 
@@ -163,10 +177,20 @@ def _cmd_bench(args) -> int:
         return 2
     runner = BenchmarkRunner(
         spd_config=_spd_config_from(args),
-        graft=GraftConfig() if args.graft else None)
+        graft=GraftConfig() if args.graft else None,
+        jobs=args.jobs)
+    mach = _machine_from(args)
+    if args.jobs > 1:
+        runner.prefetch_timings([(args.name, kind, mach)
+                                 for kind in Disambiguator])
     compiled = runner.compiled(args.name)
+
+    def stages(kind):
+        return (runner.view(args.name, kind, mach.memory_latency),
+                runner.timing(args.name, kind, mach))
+
     return _run_analysis(args, compiled.program, args.name,
-                         reference=compiled.reference)
+                         reference=compiled.reference, stages=stages)
 
 
 def _cmd_trace(args) -> int:
@@ -248,32 +272,43 @@ def _cmd_list(_args) -> int:
 def _cmd_report(args) -> int:
     from .experiments import (ablation, figure6_2, figure6_3, figure6_4,
                               table6_1, table6_2, table6_3)
-    runner = BenchmarkRunner()
+    jobs = args.jobs
+    runner = BenchmarkRunner(spd_config=_spd_config_from(args), jobs=jobs)
     producers = {
         "table6_1": lambda: table6_1.run(),
         "table6_2": lambda: table6_2.run(),
-        "table6_3": lambda: table6_3.run(runner),
-        "figure6_2": lambda: figure6_2.run(runner),
-        "figure6_3": lambda: figure6_3.run(runner),
-        "figure6_4": lambda: figure6_4.run(runner),
+        "table6_3": lambda: table6_3.run(runner, jobs=jobs),
+        "figure6_2": lambda: figure6_2.run(runner, jobs=jobs),
+        "figure6_3": lambda: figure6_3.run(runner, jobs=jobs),
+        "figure6_4": lambda: figure6_4.run(runner, jobs=jobs),
         "ablation_knobs": lambda: ablation.run_knob_sweep(
-            max_expansions=(1.25, 2.0), min_gains=(0.5, 2.0)),
+            max_expansions=(1.25, 2.0), min_gains=(0.5, 2.0), jobs=jobs),
         "ablation_alias_prob":
-            lambda: ablation.run_alias_probability_study(),
-        "ablation_grafting": lambda: ablation.run_grafting_study(),
+            lambda: ablation.run_alias_probability_study(jobs=jobs),
+        "ablation_grafting": lambda: ablation.run_grafting_study(jobs=jobs),
         "ablation_combined": lambda: ablation.run_combined_study(),
     }
     wanted = list(producers) if args.which == "all" else [args.which]
     results: Dict[str, dict] = {}
-    for which in wanted:
-        result = producers[which]()
-        print(result.render())
-        print()
-        if args.json:
-            results[which] = result.to_dict()
+
+    def produce() -> None:
+        for which in wanted:
+            result = producers[which]()
+            print(result.render())
+            print()
+            if args.json:
+                results[which] = result.to_dict()
+
     if args.json:
+        # metrics expose pipeline cache effectiveness: a warm run shows
+        # pipeline.cache_hits.disk instead of pipeline.cache_misses
+        with obs.tracing() as tracer:
+            produce()
         return _write_json(args.json, {"schema": "repro.report/1",
-                                       "results": results})
+                                       "results": results,
+                                       "metrics":
+                                           tracer.metrics.snapshot()})
+    produce()
     return 0
 
 
@@ -283,13 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Speculative Disambiguation (ISCA 1994) reproduction")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_machine_flags(p):
-        p.add_argument("--fus", type=int, default=5,
-                       help="functional units (0 = infinite machine)")
-        p.add_argument("--memory", type=int, choices=(2, 6), default=6,
-                       help="memory latency in cycles")
-        p.add_argument("--graft", action="store_true",
-                       help="enlarge decision trees by tail duplication")
+    def add_spd_flags(p):
         p.add_argument("--max-expansion", type=float,
                        default=SpDConfig.max_expansion,
                        help="SpD MaxExpansion code-growth bound")
@@ -298,10 +327,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--profiled-alias", action="store_true",
                        help="weight Gain() by profiled alias probability")
 
+    def add_machine_flags(p):
+        p.add_argument("--fus", type=int, default=5,
+                       help="functional units (0 = infinite machine)")
+        p.add_argument("--memory", type=int, choices=(2, 6), default=6,
+                       help="memory latency in cycles")
+        p.add_argument("--graft", action="store_true",
+                       help="enlarge decision trees by tail duplication")
+        add_spd_flags(p)
+
     def add_json_flag(p):
         p.add_argument("--json", metavar="OUT", default=None,
                        help="also write a machine-readable result "
                             "(- for stdout)")
+
+    def add_jobs_flag(p):
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the timing matrix "
+                            "(default 1 = serial; identical output)")
 
     p_run = sub.add_parser("run", help="execute a tinyc program")
     p_run.add_argument("program", help="tinyc source file, or - for stdin")
@@ -323,6 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("name")
     add_machine_flags(p_bench)
     add_json_flag(p_bench)
+    add_jobs_flag(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 
     p_trace = sub.add_parser(
@@ -352,7 +396,9 @@ def build_parser() -> argparse.ArgumentParser:
         "figure6_2", "figure6_3", "figure6_4",
         "ablation_knobs", "ablation_alias_prob", "ablation_grafting",
         "ablation_combined", "all"])
+    add_spd_flags(p_report)
     add_json_flag(p_report)
+    add_jobs_flag(p_report)
     p_report.set_defaults(func=_cmd_report)
 
     return parser

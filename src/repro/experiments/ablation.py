@@ -72,10 +72,24 @@ class KnobSweep:
         }
 
 
+def _prefetch_static_spec(runner: BenchmarkRunner, names: List[str],
+                          mach, memory_latency: int, jobs: int) -> None:
+    """Warm one runner's cache for a STATIC/SPEC speedup + growth study."""
+    if jobs <= 1:
+        return
+    runner.prefetch_timings(
+        [(name, kind, mach) for name in names
+         for kind in (Disambiguator.STATIC, Disambiguator.SPEC)], jobs=jobs)
+    runner.prefetch_views(
+        [(name, Disambiguator.SPEC, memory_latency) for name in names],
+        jobs=jobs)
+
+
 def run_knob_sweep(names: List[str] = NRC_BENCHMARKS,
                    max_expansions: Tuple[float, ...] = (1.25, 2.0, 4.0),
                    min_gains: Tuple[float, ...] = (0.25, 0.5, 2.0),
-                   num_fus: int = 5, memory_latency: int = 6) -> KnobSweep:
+                   num_fus: int = 5, memory_latency: int = 6,
+                   jobs: int = 1) -> KnobSweep:
     """Sweep MaxExpansion x MinGain; mean speedup/code-growth per point."""
     sweep = KnobSweep(num_fus, memory_latency)
     mach = machine(num_fus, memory_latency)
@@ -84,6 +98,7 @@ def run_knob_sweep(names: List[str] = NRC_BENCHMARKS,
             config = SpDConfig(max_expansion=max_expansion,
                                min_gain=min_gain)
             runner = BenchmarkRunner(spd_config=config)
+            _prefetch_static_spec(runner, names, mach, memory_latency, jobs)
             speedups, growths, apps = [], [], 0
             for name in names:
                 speedups.append(runner.spec_over_static(name, mach))
@@ -128,13 +143,16 @@ class AliasProbStudy:
 
 def run_alias_probability_study(names: List[str] = NRC_BENCHMARKS,
                                 num_fus: int = 5,
-                                memory_latency: int = 6) -> AliasProbStudy:
+                                memory_latency: int = 6,
+                                jobs: int = 1) -> AliasProbStudy:
     """Compare Gain() under assumed-0.1 vs profiled alias probabilities."""
     study = AliasProbStudy(num_fus, memory_latency)
     mach = machine(num_fus, memory_latency)
     assumed_runner = BenchmarkRunner()
     profiled_runner = BenchmarkRunner(
         spd_config=SpDConfig(alias_probability_weighting=True))
+    _prefetch_static_spec(assumed_runner, names, mach, memory_latency, jobs)
+    _prefetch_static_spec(profiled_runner, names, mach, memory_latency, jobs)
     for name in names:
         study.results[name] = (
             assumed_runner.spec_over_static(name, mach),
@@ -189,7 +207,8 @@ class GraftingStudy:
 
 
 def run_grafting_study(names: List[str] = None, num_fus: int = 5,
-                       memory_latency: int = 6) -> GraftingStudy:
+                       memory_latency: int = 6,
+                       jobs: int = 1) -> GraftingStudy:
     """Compare SpD opportunity and benefit with and without grafting."""
     from ..frontend.grafting import GraftConfig
 
@@ -202,6 +221,8 @@ def run_grafting_study(names: List[str] = None, num_fus: int = 5,
     mach = machine(num_fus, memory_latency)
     base_runner = BenchmarkRunner()
     graft_runner = BenchmarkRunner(graft=GraftConfig())
+    _prefetch_static_spec(base_runner, names, mach, memory_latency, jobs)
+    _prefetch_static_spec(graft_runner, names, mach, memory_latency, jobs)
     for name in names:
         base_apps = sum(base_runner.view(
             name, Disambiguator.SPEC, memory_latency).spd_counts().values())

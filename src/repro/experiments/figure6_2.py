@@ -70,9 +70,18 @@ class Figure62:
 
 
 def run(runner: BenchmarkRunner = None, names: List[str] = REPORTED,
-        num_fus: int = 5) -> Figure62:
-    """Regenerate Figure 6-2: speedups over NAIVE on the 5-FU machine."""
+        num_fus: int = 5, jobs: int = 1) -> Figure62:
+    """Regenerate Figure 6-2: speedups over NAIVE on the 5-FU machine.
+
+    ``jobs > 1`` precomputes the timing matrix on that many worker
+    processes; the result is identical to the serial run.
+    """
     runner = runner or BenchmarkRunner()
+    if jobs > 1:
+        runner.prefetch_timings(
+            [(name, kind, machine(num_fus, memory_latency))
+             for name in names for memory_latency in (2, 6)
+             for kind in (Disambiguator.NAIVE,) + _KINDS], jobs=jobs)
     figure = Figure62(num_fus)
     for name in names:
         for memory_latency in (2, 6):

@@ -72,9 +72,22 @@ class Figure63:
 
 
 def run(runner: BenchmarkRunner = None,
-        names: List[str] = NRC_BENCHMARKS) -> Figure63:
-    """Regenerate Figure 6-3: SPEC/STATIC across 1..8 FUs, both latencies."""
+        names: List[str] = NRC_BENCHMARKS, jobs: int = 1) -> Figure63:
+    """Regenerate Figure 6-3: SPEC/STATIC across 1..8 FUs, both latencies.
+
+    ``jobs > 1`` precomputes the timing matrix on that many worker
+    processes; the result is identical to the serial run.
+    """
+    from ..disambig.pipeline import Disambiguator
+
     runner = runner or BenchmarkRunner()
+    if jobs > 1:
+        runner.prefetch_timings(
+            [(name, kind, machine(width, memory_latency))
+             for name in names for memory_latency in (2, 6)
+             for width in WIDTHS
+             for kind in (Disambiguator.STATIC, Disambiguator.SPEC)],
+            jobs=jobs)
     figure = Figure63()
     for name in names:
         for memory_latency in (2, 6):

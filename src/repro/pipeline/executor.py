@@ -1,0 +1,134 @@
+"""Parallel job executor: fan the timing matrix out over processes.
+
+The experiment harness is an embarrassingly parallel matrix of
+(program × disambiguator × machine) jobs.  :func:`run_jobs` executes a
+batch of picklable job specs either serially (``num_jobs <= 1`` — the
+default, and byte-identical to the historical behaviour) or on a
+``multiprocessing`` pool.  Determinism is preserved in both modes:
+
+* results are returned in job order (``Pool.map`` keyed to the input
+  sequence), independent of worker scheduling;
+* every stage is itself deterministic, so a worker computes exactly the
+  artifact the parent would have;
+* workers share the parent's *disk* store (atomic write-rename makes
+  concurrent writes safe), so intermediate artifacts — compiled
+  programs, profiles, views — are visible to the parent afterwards;
+  the finished job results are additionally shipped back through the
+  pool and inserted into the parent's in-memory tier in job order.
+
+The ``fork`` start method is preferred (cheap, inherits the loaded
+package); platforms without it (Windows, macOS spawn default) fall back
+to ``spawn``, which only requires the job/config dataclasses to pickle.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from .. import obs
+from ..disambig.pipeline import Disambiguator
+from ..disambig.spd_heuristic import SpDConfig
+from ..frontend.grafting import GraftConfig
+from ..machine.description import LifeMachine
+from .artifacts import DisambiguationArtifact, TimingArtifact
+from .core import Pipeline
+from .store import ArtifactStore
+
+__all__ = ["ViewJob", "TimingJob", "run_jobs"]
+
+
+@dataclass(frozen=True)
+class ViewJob:
+    """Compute one disambiguated view (stage 3)."""
+
+    label: str
+    source: str
+    kind: Disambiguator
+    memory_latency: int = 2
+
+
+@dataclass(frozen=True)
+class TimingJob:
+    """Compute one whole-program timing (stage 4, pulls in 1-3)."""
+
+    label: str
+    source: str
+    kind: Disambiguator
+    machine: LifeMachine
+
+
+Job = Union[ViewJob, TimingJob]
+
+
+@dataclass(frozen=True)
+class _WorkerSpec:
+    """Everything a worker needs to rebuild the parent's pipeline."""
+
+    spd_config: SpDConfig
+    graft: Optional[GraftConfig]
+    validate_spec_output: bool
+    cache_root: Optional[str]
+
+
+#: Per-worker pipeline, built once by the pool initializer so a worker
+#: processing several jobs for one program reuses its in-memory tier.
+_worker_pipeline: Optional[Pipeline] = None
+
+
+def _init_worker(spec: _WorkerSpec) -> None:
+    global _worker_pipeline
+    obs.disable()  # a forked parent tracer would record into a dead copy
+    _worker_pipeline = Pipeline(
+        spd_config=spec.spd_config, graft=spec.graft,
+        validate_spec_output=spec.validate_spec_output,
+        store=ArtifactStore(spec.cache_root))
+
+
+def _run_job(job: Job):
+    return _run_on(_worker_pipeline, job)
+
+
+def _run_on(pipeline: Pipeline, job: Job):
+    if isinstance(job, TimingJob):
+        return pipeline.timing(job.label, job.source, job.kind, job.machine)
+    return pipeline.view(job.label, job.source, job.kind, job.memory_latency)
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def run_jobs(pipeline: Pipeline, jobs: Sequence[Job],
+             num_jobs: int = 1) -> List[object]:
+    """Execute *jobs* against *pipeline*; results in job order.
+
+    ``num_jobs <= 1`` runs in-process.  Otherwise a worker pool computes
+    the jobs; each result artifact is inserted into the parent store's
+    memory tier (workers already wrote the shared disk tier, if any).
+    """
+    jobs = list(jobs)
+    if num_jobs <= 1 or len(jobs) <= 1:
+        return [_run_on(pipeline, job) for job in jobs]
+
+    workers = min(num_jobs, len(jobs))
+    spec = _WorkerSpec(
+        spd_config=pipeline.spd_config, graft=pipeline.graft,
+        validate_spec_output=pipeline.validate_spec_output,
+        cache_root=(str(pipeline.store.root)
+                    if pipeline.store.root is not None else None))
+    with obs.span("pipeline.parallel", jobs=workers, tasks=len(jobs)):
+        obs.set_gauge("pipeline.jobs", workers)
+        obs.incr("pipeline.parallel_tasks", len(jobs))
+        ctx = _pool_context()
+        with ctx.Pool(workers, initializer=_init_worker,
+                      initargs=(spec,)) as pool:
+            results = pool.map(_run_job, jobs)
+    for artifact in results:
+        stage = ("timing" if isinstance(artifact, TimingArtifact)
+                 else "view")
+        pipeline.store.put_memory(stage, artifact.fingerprint, artifact)
+    return results

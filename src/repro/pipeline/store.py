@@ -1,0 +1,154 @@
+"""Two-tier artifact store: in-memory LRU over an on-disk cache.
+
+Lookup order is memory, then disk, then miss; every tier is keyed by
+``(stage, fingerprint)`` where the fingerprint is content-addressed
+(:mod:`repro.pipeline.fingerprint`), so a cached artifact can never be
+served for a different configuration — a config change changes the key.
+
+The disk layer lives under ``$REPRO_CACHE_DIR`` (or
+``~/.cache/repro-spd`` when unset; set ``REPRO_CACHE_DIR=`` empty to
+disable it).  Entries are pickle files written atomically — serialise
+to a temporary file in the destination directory, then ``os.replace``
+— so concurrent writers (parallel workers, overlapping CLI runs) can
+only ever observe complete entries.  Reads are defensive: anything that
+fails to unpickle, carries the wrong pipeline-version salt, or has an
+unexpected layout is silently deleted and treated as a miss, which
+causes the stage to rebuild and overwrite it.
+
+Cache traffic is observable through ``repro.obs``:
+``pipeline.cache_hits.mem`` / ``pipeline.cache_hits.disk`` /
+``pipeline.cache_misses`` globally, plus per-stage
+``pipeline.<stage>.cache_hits`` / ``pipeline.<stage>.cache_misses``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional, Tuple
+
+from .. import obs
+from .fingerprint import PIPELINE_VERSION
+
+__all__ = ["ArtifactStore", "default_cache_dir"]
+
+#: Sentinel: "resolve the cache directory from the environment".
+_FROM_ENV = object()
+
+
+def default_cache_dir() -> Optional[Path]:
+    """``$REPRO_CACHE_DIR`` (empty string disables the disk tier) or
+    ``~/.cache/repro-spd``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env is not None:
+        return Path(env) if env else None
+    return Path.home() / ".cache" / "repro-spd"
+
+
+class ArtifactStore:
+    """In-memory LRU in front of an on-disk pickle cache.
+
+    ``root=None`` disables the disk tier (memory-only store); by
+    default the root is resolved from the environment at construction
+    time (see :func:`default_cache_dir`).
+    """
+
+    def __init__(self, root=_FROM_ENV, max_memory_entries: int = 1024):
+        if root is _FROM_ENV:
+            root = default_cache_dir()
+        self.root: Optional[Path] = Path(root) if root is not None else None
+        self.max_memory_entries = max_memory_entries
+        self._memory: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, stage: str, fingerprint: str):
+        """The cached artifact, or ``None`` (emits hit/miss counters)."""
+        key = (stage, fingerprint)
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            obs.incr("pipeline.cache_hits.mem")
+            obs.incr(f"pipeline.{stage}.cache_hits")
+            return cached
+        cached = self._disk_get(stage, fingerprint)
+        if cached is not None:
+            self._memory_put(key, cached)
+            obs.incr("pipeline.cache_hits.disk")
+            obs.incr(f"pipeline.{stage}.cache_hits")
+            return cached
+        obs.incr("pipeline.cache_misses")
+        obs.incr(f"pipeline.{stage}.cache_misses")
+        return None
+
+    def put(self, stage: str, fingerprint: str, artifact) -> None:
+        """Insert into both tiers (disk write is atomic, best-effort)."""
+        self._memory_put((stage, fingerprint), artifact)
+        self._disk_put(stage, fingerprint, artifact)
+
+    def put_memory(self, stage: str, fingerprint: str, artifact) -> None:
+        """Insert into the memory tier only (e.g. results shipped back
+        from parallel workers, which already wrote the disk entry)."""
+        self._memory_put((stage, fingerprint), artifact)
+
+    # -- memory tier ---------------------------------------------------------
+
+    def _memory_put(self, key: Tuple[str, str], artifact) -> None:
+        self._memory[key] = artifact
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- disk tier -----------------------------------------------------------
+
+    def _path(self, stage: str, fingerprint: str) -> Path:
+        return self.root / stage / fingerprint[:2] / f"{fingerprint}.pkl"
+
+    def _disk_get(self, stage: str, fingerprint: str):
+        if self.root is None:
+            return None
+        path = self._path(stage, fingerprint)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if (not isinstance(payload, dict)
+                    or payload.get("version") != PIPELINE_VERSION):
+                raise ValueError("stale or malformed cache entry")
+            return payload["artifact"]
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # corrupt, truncated or stale-version entry: drop and rebuild
+            obs.incr("pipeline.cache_evicted")
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+
+    def _disk_put(self, stage: str, fingerprint: str, artifact) -> None:
+        if self.root is None:
+            return
+        path = self._path(stage, fingerprint)
+        tmp_name = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump({"version": PIPELINE_VERSION, "artifact": artifact},
+                            handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except OSError:
+            # a read-only or full cache dir degrades to memory-only
+            obs.incr("pipeline.cache_errors")
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass

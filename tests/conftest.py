@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.bench.runner import BenchmarkRunner
@@ -69,6 +71,25 @@ def example22_result(example22_program):
 @pytest.fixture(scope="session")
 def pointer_program():
     return compile_source(POINTER_KERNEL)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_cache(tmp_path_factory):
+    """Point the artifact store at a throwaway directory for the session.
+
+    Keeps the suite hermetic: tests never read from or write to the
+    user's ``~/.cache/repro-spd``.  An explicitly set ``REPRO_CACHE_DIR``
+    (e.g. in CI) is respected.
+    """
+    if os.environ.get("REPRO_CACHE_DIR") is not None:
+        yield
+        return
+    cache_dir = tmp_path_factory.mktemp("repro-cache")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    try:
+        yield
+    finally:
+        os.environ.pop("REPRO_CACHE_DIR", None)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,1 @@
+"""Tests for the artifact-store compilation pipeline (``repro.pipeline``)."""

@@ -1,0 +1,117 @@
+"""Fingerprint sensitivity: every cache-relevant input must change the key.
+
+The store serves whatever the fingerprint addresses, so correctness of
+the whole cache reduces to: two configurations that can produce
+different artifacts must never share a fingerprint.
+"""
+
+from dataclasses import replace
+
+from repro.disambig.pipeline import Disambiguator
+from repro.disambig.spd_heuristic import SpDConfig
+from repro.frontend.grafting import GraftConfig
+from repro.machine.description import machine
+from repro.pipeline.core import Pipeline
+from repro.pipeline.fingerprint import PIPELINE_VERSION, fingerprint
+from repro.pipeline.store import ArtifactStore
+
+SOURCE = """
+float a[8];
+int main() {
+    a[1] = 2.0;
+    print(a[1]);
+    return 0;
+}
+"""
+
+
+def memory_pipeline(**kwargs) -> Pipeline:
+    return Pipeline(store=ArtifactStore(root=None), **kwargs)
+
+
+class TestFingerprintFunction:
+    def test_deterministic(self):
+        assert fingerprint({"a": 1}) == fingerprint({"a": 1})
+
+    def test_key_order_irrelevant(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_payload_sensitivity(self):
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+
+    def test_version_salt_present(self):
+        # bumping PIPELINE_VERSION must invalidate every existing key
+        assert fingerprint({}) != fingerprint({"pipeline_version":
+                                               PIPELINE_VERSION + 1})
+
+
+class TestCompileFingerprint:
+    def test_source_change(self):
+        pipe = memory_pipeline()
+        assert (pipe.compile_fingerprint(SOURCE)
+                != pipe.compile_fingerprint(SOURCE + "\n"))
+
+    def test_graft_config_change(self):
+        plain = memory_pipeline()
+        grafted = memory_pipeline(graft=GraftConfig())
+        tweaked = memory_pipeline(graft=GraftConfig(max_passes=1))
+        fps = {p.compile_fingerprint(SOURCE) for p in (plain, grafted, tweaked)}
+        assert len(fps) == 3
+
+    def test_stable_across_instances(self):
+        assert (memory_pipeline().compile_fingerprint(SOURCE)
+                == memory_pipeline().compile_fingerprint(SOURCE))
+
+
+class TestViewFingerprint:
+    def test_kind_change(self):
+        pipe = memory_pipeline()
+        fps = {pipe.view_fingerprint(SOURCE, kind) for kind in Disambiguator}
+        assert len(fps) == len(Disambiguator)
+
+    def test_spd_config_changes_spec_view(self):
+        base = memory_pipeline()
+        tweaked = memory_pipeline(
+            spd_config=replace(SpDConfig(), min_gain=2.5))
+        assert (base.view_fingerprint(SOURCE, Disambiguator.SPEC)
+                != tweaked.view_fingerprint(SOURCE, Disambiguator.SPEC))
+
+    def test_spd_config_irrelevant_to_static_view(self):
+        # only SPEC's Gain() heuristic reads the knobs; STATIC/NAIVE/
+        # PERFECT views are shared across SpD configurations
+        base = memory_pipeline()
+        tweaked = memory_pipeline(
+            spd_config=replace(SpDConfig(), min_gain=2.5))
+        assert (base.view_fingerprint(SOURCE, Disambiguator.STATIC)
+                == tweaked.view_fingerprint(SOURCE, Disambiguator.STATIC))
+
+    def test_latency_table_changes_spec_view(self):
+        pipe = memory_pipeline()
+        assert (pipe.view_fingerprint(SOURCE, Disambiguator.SPEC, 2)
+                != pipe.view_fingerprint(SOURCE, Disambiguator.SPEC, 6))
+
+    def test_latency_irrelevant_to_static_view(self):
+        pipe = memory_pipeline()
+        assert (pipe.view_fingerprint(SOURCE, Disambiguator.STATIC, 2)
+                == pipe.view_fingerprint(SOURCE, Disambiguator.STATIC, 6))
+
+    def test_source_change_propagates(self):
+        pipe = memory_pipeline()
+        assert (pipe.view_fingerprint(SOURCE, Disambiguator.SPEC)
+                != pipe.view_fingerprint(SOURCE + "\n", Disambiguator.SPEC))
+
+
+class TestTimingFingerprint:
+    def test_machine_change(self):
+        pipe = memory_pipeline()
+        assert (pipe.timing_fingerprint(SOURCE, Disambiguator.SPEC,
+                                        machine(5, 2))
+                != pipe.timing_fingerprint(SOURCE, Disambiguator.SPEC,
+                                           machine(7, 2)))
+
+    def test_memory_latency_change(self):
+        pipe = memory_pipeline()
+        assert (pipe.timing_fingerprint(SOURCE, Disambiguator.NAIVE,
+                                        machine(5, 2))
+                != pipe.timing_fingerprint(SOURCE, Disambiguator.NAIVE,
+                                           machine(5, 6)))

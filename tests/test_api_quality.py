@@ -14,7 +14,7 @@ import repro
 
 PACKAGES = ["repro", "repro.ir", "repro.frontend", "repro.machine",
             "repro.sim", "repro.sched", "repro.disambig", "repro.bench",
-            "repro.experiments"]
+            "repro.experiments", "repro.pipeline"]
 
 
 def _walk_modules():
