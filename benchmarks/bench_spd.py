@@ -7,7 +7,10 @@ wall-times per stage, plus selected work counters from ``repro.obs``.
 Each benchmark is measured twice against an isolated artifact store:
 a **cold** pass that computes every stage, then a **warm** pass served
 from the disk cache — the cold/warm ratio tracks what the artifact
-store buys.  The resulting JSON seeds the repository's performance
+store buys.  A third request rebuilds the SPEC view with the default
+cleanup pipeline (constfold, copyprop, dce) and records the post-DCE
+code size plus per-pass op deltas.  The resulting JSON seeds the
+repository's performance
 trajectory: successive PRs can diff cycle counts (model behaviour) and
 wall-times (toolchain speed) against it.
 
@@ -32,6 +35,7 @@ from repro.bench.runner import BenchmarkRunner
 from repro.bench.suite import SUITE
 from repro.disambig.pipeline import Disambiguator
 from repro.machine.description import machine
+from repro.passes import DEFAULT_CLEANUP, PassPipelineConfig
 from repro.pipeline.store import ArtifactStore
 
 #: Counters worth tracking release-over-release (work, not wall-time).
@@ -91,6 +95,20 @@ def snapshot_benchmark(name: str, num_fus: int,
         warm_runner.timing(name, kind, mach)
     wall_ms["warm_total"] = (time.perf_counter() - t0) * 1e3
 
+    # cleanup pass: rebuild the SPEC view with the default cleanup
+    # pipeline (same store, so compile/profile are cache hits) and
+    # record the post-DCE code size plus per-pass op deltas
+    clean_runner = BenchmarkRunner(
+        store=ArtifactStore(cache_dir),
+        passes=PassPipelineConfig(cleanup=DEFAULT_CLEANUP))
+    spec_clean = clean_runner.view(name, Disambiguator.SPEC, memory_latency)
+    cleanup = {
+        "code_size": spec_clean.code_size(),
+        "ops_removed": spec.code_size() - spec_clean.code_size(),
+        "pass_deltas": {report["pass"]: report["delta"]
+                        for report in spec_clean.pass_stats},
+    }
+
     naive = cycles[Disambiguator.NAIVE.value]
     return {
         "ops": compiled.base_size,
@@ -104,6 +122,8 @@ def snapshot_benchmark(name: str, num_fus: int,
             for arc, count in spec.spd_counts().items()
         },
         "code_growth": round(runner.code_growth(name, memory_latency), 6),
+        "spec_code_size": spec.code_size(),
+        "cleanup": cleanup,
         "wall_ms": {stage: round(ms, 2) for stage, ms in wall_ms.items()},
         "counters": counters,
     }
@@ -122,7 +142,7 @@ def build_snapshot(names: List[str], num_fus: int,
         wall = benchmarks[name]["wall_ms"]
         print(f" {wall['total']:.0f}ms cold, {wall['warm_total']:.0f}ms warm")
     return {
-        "schema": "repro.bench_spd/1",
+        "schema": "repro.bench_spd/2",
         "machine": machine(num_fus, memory_latency).name,
         "num_fus": num_fus,
         "memory_latency": memory_latency,

@@ -12,7 +12,7 @@ width below which SpD's extra code hurts.
 Run:  python examples/fft_spd_study.py
 """
 
-from repro.bench import BenchmarkRunner, get_benchmark
+from repro.bench import BenchmarkRunner
 from repro.disambig import Disambiguator
 from repro.machine import machine
 

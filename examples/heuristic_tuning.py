@@ -13,7 +13,6 @@ Run:  python examples/heuristic_tuning.py      (takes a minute or two)
 
 from repro import SpDConfig
 from repro.bench import BenchmarkRunner, NRC_BENCHMARKS
-from repro.disambig import Disambiguator
 from repro.machine import machine
 
 
@@ -23,7 +22,9 @@ def evaluate(config: SpDConfig, names, mach):
     for name in names:
         speedups.append(runner.spec_over_static(name, mach))
         growths.append(runner.code_growth(name, mach.memory_latency))
-    mean = lambda xs: sum(xs) / len(xs)
+    def mean(xs):
+        return sum(xs) / len(xs)
+
     return mean(speedups), mean(growths)
 
 

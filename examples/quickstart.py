@@ -62,7 +62,7 @@ def main() -> None:
 
     # 4. verify the headline: only SpD helps here
     naive = cycles[Disambiguator.NAIVE]
-    print(f"\nspeedup over NAIVE (the paper's Figure 6-2 metric):")
+    print("\nspeedup over NAIVE (the paper's Figure 6-2 metric):")
     for kind in (Disambiguator.STATIC, Disambiguator.SPEC,
                  Disambiguator.PERFECT):
         print(f"{kind.value:>8}: {naive / cycles[kind] - 1:+.1%}")

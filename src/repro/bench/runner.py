@@ -27,6 +27,7 @@ from ..disambig.spd_heuristic import SpDConfig
 from ..frontend.grafting import GraftConfig
 from ..ir.program import Program
 from ..machine.description import LifeMachine
+from ..passes import PassPipelineConfig
 from ..pipeline.core import Pipeline
 from ..pipeline.executor import TimingJob, ViewJob
 from ..pipeline.store import ArtifactStore
@@ -61,14 +62,18 @@ class BenchmarkRunner:
                  validate_spec_output: bool = True,
                  graft: Optional[GraftConfig] = None,
                  jobs: int = 1,
-                 store: Optional[ArtifactStore] = None):
+                 store: Optional[ArtifactStore] = None,
+                 passes: Optional[PassPipelineConfig] = None,
+                 guard_words: int = 0):
         self.spd_config = spd_config
         self.validate_spec_output = validate_spec_output
         self.graft = graft
         self.jobs = jobs
         self.pipeline = Pipeline(spd_config=spd_config, graft=graft,
                                  validate_spec_output=validate_spec_output,
-                                 store=store)
+                                 store=store, passes=passes,
+                                 guard_words=guard_words)
+        self.passes = self.pipeline.passes
         self._compiled: Dict[str, CompiledBenchmark] = {}
 
     # -- stages ------------------------------------------------------------

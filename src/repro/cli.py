@@ -9,12 +9,15 @@ Usage (also via ``python -m repro``)::
     repro trace TARGET [options]         # per-pass timing tree + metrics
     repro report {table6_1,...,all}      # regenerate a paper table/figure
     repro list                           # list built-in benchmarks
+    repro passes                         # list registered program passes
 
 Options shared by ``analyze``/``bench``/``trace``/``schedule``:
 ``--fus N`` (default 5, 0 = infinite), ``--memory {2,6}`` (default 6),
-``--graft``, and the SpD heuristic knobs ``--max-expansion``,
-``--min-gain``, ``--profiled-alias`` (``report`` honors the SpD knobs
-too).
+``--graft``, the SpD heuristic knobs ``--max-expansion``,
+``--min-gain``, ``--profiled-alias``, and the pass-pipeline knobs
+``--passes LIST`` (comma-separated cleanup passes, or ``default`` /
+``none``) and ``--dump-after PASS`` (print the IR after a pass;
+repeatable).  ``report`` honors the SpD and pass knobs too.
 
 ``analyze``, ``bench``, ``trace`` and ``report`` accept ``--json OUT``
 to write a machine-readable result (schemas in docs/observability.md)
@@ -40,6 +43,8 @@ from .frontend.driver import compile_source
 from .frontend.grafting import GraftConfig, graft_program
 from .ir.printer import format_program
 from .machine.description import machine
+from .passes import (DEFAULT_CLEANUP, PassPipelineConfig, UnknownPassError,
+                     registered_passes)
 from .sim.evaluate import evaluate_program
 from .sim.interpreter import run_program
 
@@ -62,6 +67,27 @@ def _spd_config_from(args) -> SpDConfig:
     return SpDConfig(max_expansion=args.max_expansion,
                      min_gain=args.min_gain,
                      alias_probability_weighting=args.profiled_alias)
+
+
+def _pass_config_from(args) -> PassPipelineConfig:
+    """``--passes``/``--dump-after`` -> a validated pipeline config.
+
+    ``--passes`` accepts a comma-separated cleanup pass list, the word
+    ``default`` (= ``constfold,copyprop,dce``) or ``none`` (= empty, the
+    default: the paper's unaltered toolchain).
+    """
+    spec = getattr(args, "passes", None)
+    dump = tuple(getattr(args, "dump_after", None) or ())
+    if spec is None or spec == "none":
+        cleanup = ()
+    elif spec == "default":
+        cleanup = DEFAULT_CLEANUP
+    else:
+        cleanup = tuple(name for name in spec.split(",") if name)
+    try:
+        return PassPipelineConfig(cleanup=cleanup, dump_after=dump).validated()
+    except UnknownPassError as error:
+        raise SystemExit(f"repro: {error}")
 
 
 def _write_json(path: str, payload: dict) -> int:
@@ -105,7 +131,8 @@ def _cmd_compile(args) -> int:
 
 def _analyze(program, mach, label: str,
              spd_config: SpDConfig = SpDConfig(),
-             reference=None, stages=None) -> dict:
+             reference=None, stages=None,
+             passes: Optional[PassPipelineConfig] = None) -> dict:
     """Print the per-disambiguator cycle table; return it structured.
 
     ``stages(kind) -> (view, timing)``, when given, supplies the
@@ -125,7 +152,8 @@ def _analyze(program, mach, label: str,
             view, timing = stages(kind)
         else:
             view = disambiguate(program, kind, profile=reference.profile,
-                                machine=mach, spd_config=spd_config)
+                                machine=mach, spd_config=spd_config,
+                                passes=passes)
             timing = evaluate_program(view.program, view.graphs, mach,
                                       reference.profile)
         if kind is Disambiguator.NAIVE:
@@ -141,6 +169,8 @@ def _analyze(program, mach, label: str,
             entry["spd_counts"] = {k.value.split("_")[1]: v
                                    for k, v in view.spd_counts().items()}
             entry["code_size"] = view.code_size()
+        if view.pass_stats:
+            entry["passes"] = view.pass_stats
         print(f"  {kind.value:>8}: {timing.cycles:10d} cycles "
               f"({speedup:+7.1%} vs naive){extra}")
         data["disambiguators"][kind.value] = entry
@@ -152,14 +182,15 @@ def _run_analysis(args, program, label: str, reference=None,
     """Shared analyze/bench tail: text table, optional JSON + trace."""
     mach = _machine_from(args)
     spd_config = _spd_config_from(args)
+    passes = _pass_config_from(args)
     if args.json:
         with obs.tracing() as tracer:
             data = _analyze(program, mach, label, spd_config, reference,
-                            stages)
+                            stages, passes)
         payload = {"schema": "repro.analysis/1", **data,
                    **tracer.to_dict()}
         return _write_json(args.json, payload)
-    _analyze(program, mach, label, spd_config, reference, stages)
+    _analyze(program, mach, label, spd_config, reference, stages, passes)
     return 0
 
 
@@ -178,7 +209,8 @@ def _cmd_bench(args) -> int:
     runner = BenchmarkRunner(
         spd_config=_spd_config_from(args),
         graft=GraftConfig() if args.graft else None,
-        jobs=args.jobs)
+        jobs=args.jobs,
+        passes=_pass_config_from(args))
     mach = _machine_from(args)
     if args.jobs > 1:
         runner.prefetch_timings([(args.name, kind, mach)
@@ -206,6 +238,7 @@ def _cmd_trace(args) -> int:
             return 2
     mach = _machine_from(args)
     spd_config = _spd_config_from(args)
+    passes = _pass_config_from(args)
     with obs.tracing() as tracer:
         with obs.span("pipeline", program=label):
             program = compile_source(source)
@@ -216,7 +249,8 @@ def _cmd_trace(args) -> int:
                 with obs.span(f"analyze.{kind.value}"):
                     view = disambiguate(program, kind,
                                         profile=reference.profile,
-                                        machine=mach, spd_config=spd_config)
+                                        machine=mach, spd_config=spd_config,
+                                        passes=passes)
                     evaluate_program(view.program, view.graphs, mach,
                                      reference.profile)
     root = tracer.finish()
@@ -253,7 +287,8 @@ def _cmd_schedule(args) -> int:
     profile = run_program(program).profile
     kind = Disambiguator.SPEC if args.spec else Disambiguator.STATIC
     view = disambiguate(program, kind, profile=profile, machine=mach,
-                        spd_config=_spd_config_from(args))
+                        spd_config=_spd_config_from(args),
+                        passes=_pass_config_from(args))
     for (func, name), graph in sorted(view.graphs.items()):
         if args.tree and args.tree not in name:
             continue
@@ -269,11 +304,23 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _cmd_passes(_args) -> int:
+    for name, cls in registered_passes().items():
+        print(f"{name:10s} {cls.stage:8s} {cls.description}")
+    print()
+    print(f"default cleanup pipeline (--passes default): "
+          f"{','.join(DEFAULT_CLEANUP)}")
+    print("cleanup passes run after the view transform; the default is "
+          "--passes none (the paper's unaltered toolchain)")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from .experiments import (ablation, figure6_2, figure6_3, figure6_4,
                               table6_1, table6_2, table6_3)
     jobs = args.jobs
-    runner = BenchmarkRunner(spd_config=_spd_config_from(args), jobs=jobs)
+    runner = BenchmarkRunner(spd_config=_spd_config_from(args), jobs=jobs,
+                             passes=_pass_config_from(args))
     producers = {
         "table6_1": lambda: table6_1.run(),
         "table6_2": lambda: table6_2.run(),
@@ -326,6 +373,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="SpD MinGain predicted-cycles threshold")
         p.add_argument("--profiled-alias", action="store_true",
                        help="weight Gain() by profiled alias probability")
+        add_pass_flags(p)
+
+    def add_pass_flags(p):
+        p.add_argument("--passes", metavar="LIST", default=None,
+                       help="cleanup passes to run after each view "
+                            "transform: comma-separated names, 'default' "
+                            f"(={','.join(DEFAULT_CLEANUP)}) or 'none' "
+                            "(the default; see 'repro passes')")
+        p.add_argument("--dump-after", metavar="PASS", action="append",
+                       default=None,
+                       help="print the IR to stderr after this pass "
+                            "(repeatable)")
 
     def add_machine_flags(p):
         p.add_argument("--fus", type=int, default=5,
@@ -389,6 +448,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("list", help="list built-in benchmarks")
     p_list.set_defaults(func=_cmd_list)
+
+    p_passes = sub.add_parser("passes", help="list registered program passes")
+    p_passes.set_defaults(func=_cmd_passes)
 
     p_report = sub.add_parser("report", help="regenerate a table/figure")
     p_report.add_argument("which", choices=[

@@ -25,13 +25,15 @@ from typing import Dict, List, Optional
 from .. import obs
 from ..ir.depgraph import ArcKind, DependenceGraph, build_dependence_graph, naive_oracle
 from ..ir.program import Program
-from ..ir.validate import validate_program
 from ..machine.description import INFINITE, LifeMachine
-from ..sim.profile import PairStats, ProfileData, TreeKey
+from ..passes import (Pass, PassContext, PassManager, PassPipelineConfig,
+                      PassResult, build_cleanup_passes, register)
+from ..passes.manager import DumpSink
+from ..sim.profile import ProfileData, TreeKey
 from .oracles import make_perfect_oracle, make_static_oracle
 from .spd_heuristic import SpDConfig, SpDTreeResult, speculative_disambiguation
 
-__all__ = ["Disambiguator", "DisambiguationResult", "disambiguate"]
+__all__ = ["Disambiguator", "DisambiguationResult", "SpDPass", "disambiguate"]
 
 
 class Disambiguator(enum.Enum):
@@ -50,6 +52,8 @@ class DisambiguationResult:
     program: Program
     graphs: Dict[TreeKey, DependenceGraph] = field(default_factory=dict)
     spd_results: Dict[TreeKey, SpDTreeResult] = field(default_factory=dict)
+    #: per-pass op-delta reports from the view's pass manager (JSON-ready)
+    pass_stats: List[Dict[str, object]] = field(default_factory=list)
 
     def code_size(self) -> int:
         """Program size in operations (paper's Figure 6-4 metric)."""
@@ -80,52 +84,105 @@ def _oracle_for(kind: Disambiguator, function_name: str, tree,
     raise ValueError(f"unknown disambiguator {kind}")
 
 
+@register
+class SpDPass(Pass):
+    """The paper's speculative-disambiguation transform as a pass.
+
+    Mutates the program in place (the caller is expected to pass a
+    copy, which :func:`disambiguate` does), recording per-tree outcomes
+    in ``ctx.spd_results``.  Reads the profile, Gain() machine and
+    heuristic knobs from the pass context.
+    """
+
+    name = "spd"
+    description = "apply speculative disambiguation to profitable trees"
+    stage = "disambig"
+    invalidates = frozenset({"depgraph", "schedule"})
+
+    def run(self, program: Program, ctx: PassContext) -> PassResult:
+        profile = ctx.profile
+        machine = ctx.machine if ctx.machine is not None else INFINITE
+        spd_config = (ctx.spd_config if ctx.spd_config is not None
+                      else SpDConfig())
+        applications = 0
+        with obs.span("disambig.spd_transform") as spd_span:
+            gain_machine = machine.with_fus(None)  # Gain(): infinite machine
+            for function_name, tree in program.all_trees():
+                key = (function_name, tree.name)
+                oracle = make_static_oracle(tree)
+                path_probs = None
+                stats_fn = None
+                if profile is not None:
+                    if profile.executed(key) == 0:
+                        continue  # never-executed trees: no profit, skip
+                    path_probs = profile.path_probabilities(
+                        key, len(tree.exits))
+
+                    def stats_fn(pair, _key=key):
+                        return profile.pair(
+                            (_key[0], _key[1], pair[0], pair[1]))
+
+                spd_result = speculative_disambiguation(
+                    tree, oracle, gain_machine, path_probs, spd_config,
+                    stats_fn)
+                if spd_result.applications:
+                    ctx.spd_results[key] = spd_result
+                    obs.incr("spd.trees_transformed")
+                    obs.incr("spd.ops_added", spd_result.ops_added)
+            applications = sum(
+                len(r.applications) for r in ctx.spd_results.values())
+            spd_span.incr("spd.applications", applications)
+        return PassResult(
+            program,
+            changed=bool(ctx.spd_results),
+            stats={"applications": applications,
+                   "trees_transformed": len(ctx.spd_results)},
+        )
+
+
 def disambiguate(
     program: Program,
     kind: Disambiguator,
     profile: Optional[ProfileData] = None,
     machine: LifeMachine = INFINITE,
     spd_config: SpDConfig = SpDConfig(),
+    passes: Optional[PassPipelineConfig] = None,
+    dump_sink: Optional[DumpSink] = None,
 ) -> DisambiguationResult:
     """Produce the *kind* view of *program*.
 
-    The input program is never mutated: SPEC transforms a copy.  The
-    ``machine`` parameter matters only to SPEC, whose Gain() estimates
-    depend on the latency table (this is why Table 6-3 reports different
-    application counts for 2- and 6-cycle memory).
+    The view's pass list is SPEC's ``spd`` pass (for SPEC only)
+    followed by the cleanup passes named in *passes* (default: none).
+    Whenever that list is non-empty the view transforms a private copy;
+    a pass-free view (NAIVE/STATIC/PERFECT with no cleanups) returns
+    the *input program object itself* — deliberate aliasing so the
+    untransformed views share one program, safe precisely because no
+    pass ever runs on them.
+
+    The ``machine`` parameter matters only to SPEC, whose Gain()
+    estimates depend on the latency table (this is why Table 6-3
+    reports different application counts for 2- and 6-cycle memory).
     """
-    working = program.copy() if kind is Disambiguator.SPEC else program
+    config = passes if passes is not None else PassPipelineConfig()
+    pass_list: List[Pass] = []
+    if kind is Disambiguator.SPEC:
+        pass_list.append(SpDPass())
+    pass_list.extend(build_cleanup_passes(config.cleanup))
+
+    working = program.copy() if pass_list else program
     result = DisambiguationResult(kind=kind, program=working)
 
     with obs.span(f"disambig.{kind.value}") as pipeline_span:
-        if kind is Disambiguator.SPEC:
-            with obs.span("disambig.spd_transform") as spd_span:
-                gain_machine = machine.with_fus(None)  # Gain(): infinite machine
-                for function_name, tree in working.all_trees():
-                    key = (function_name, tree.name)
-                    oracle = make_static_oracle(tree)
-                    path_probs = None
-                    stats_fn = None
-                    if profile is not None:
-                        if profile.executed(key) == 0:
-                            continue  # never-executed trees: no profit, skip
-                        path_probs = profile.path_probabilities(
-                            key, len(tree.exits))
-
-                        def stats_fn(pair, _key=key):
-                            return profile.pair(
-                                (_key[0], _key[1], pair[0], pair[1]))
-
-                    spd_result = speculative_disambiguation(
-                        tree, oracle, gain_machine, path_probs, spd_config,
-                        stats_fn)
-                    if spd_result.applications:
-                        result.spd_results[key] = spd_result
-                        obs.incr("spd.trees_transformed")
-                        obs.incr("spd.ops_added", spd_result.ops_added)
-                spd_span.incr("spd.applications", sum(
-                    len(r.applications) for r in result.spd_results.values()))
-                validate_program(working)
+        if pass_list:
+            manager = PassManager(pass_list, validate=config.validate,
+                                  dump_after=config.dump_after,
+                                  dump_sink=dump_sink)
+            ctx = PassContext(profile=profile, machine=machine,
+                              spd_config=spd_config)
+            working = manager.run(working, ctx)
+            result.program = working
+            result.spd_results = ctx.spd_results
+            result.pass_stats = manager.reports
 
         with obs.span("disambig.build_graphs") as graphs_span:
             for function_name, tree in working.all_trees():

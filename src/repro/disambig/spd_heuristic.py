@@ -39,7 +39,7 @@ from ..ir.depgraph import (AliasOracle, Arc, ArcKind, DependenceGraph,
                            build_dependence_graph)
 from ..ir.tree import DecisionTree
 from ..machine.description import LifeMachine
-from ..sim.profile import PairStats, ProfileData
+from ..sim.profile import PairStats
 from ..sim.timing import average_time, infinite_machine_timing
 from .spd_transform import SpDApplication, SpDNotApplicable, apply_spd
 

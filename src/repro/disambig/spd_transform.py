@@ -44,7 +44,7 @@ from ..ir.depgraph import Arc, ArcKind
 from ..ir.guards import Guard
 from ..ir.operations import Opcode, Operation
 from ..ir.tree import DecisionTree
-from ..ir.values import BOOL, Constant, FLOAT, Operand, Register
+from ..ir.values import BOOL, FLOAT, Operand, Register
 
 __all__ = ["SpDNotApplicable", "SpDApplication", "apply_spd",
            "apply_spd_combined"]
@@ -525,7 +525,7 @@ def apply_spd_combined(tree: DecisionTree, arcs: List[Arc]) -> SpDApplication:
     # -- make every pair's address (and store guard) available at the
     # compare point by hoisting pure chains, exactly as the WAW
     # transform does; fail if any chain is not liftable -----------------
-    pair_ids = [(ops[s].op_id, ops[l].op_id) for s, l in pairs]
+    pair_ids = [(ops[s].op_id, ops[ld].op_id) for s, ld in pairs]
 
     def positions():
         return [(tree.op_index(sid), tree.op_index(lid))
@@ -534,13 +534,12 @@ def apply_spd_combined(tree: DecisionTree, arcs: List[Arc]) -> SpDApplication:
     for _round in range(4 * len(pair_ids)):
         ops = tree.ops
         pair_positions = positions()
-        insert_pos = min(l for _s, l in pair_positions)
+        insert_pos = min(ld for _s, ld in pair_positions)
         moved_something = False
         for store_pos, load_pos in pair_positions:
             store, load = ops[store_pos], ops[load_pos]
             for operand, use_pos in ((store.address, store_pos),
                                      (load.address, load_pos)):
-                before = len(tree.ops)
                 _hoist_chain(tree, operand, insert_pos, use_pos)
                 if tree.ops is not ops:
                     moved_something = True
@@ -562,7 +561,7 @@ def apply_spd_combined(tree: DecisionTree, arcs: List[Arc]) -> SpDApplication:
     by_load = {}
     for store_pos, load_pos in pairs:
         by_load.setdefault(load_pos, set()).add(store_pos)
-    insert_pos = min(l for _s, l in pairs)
+    insert_pos = min(ld for _s, ld in pairs)
     for store_pos, load_pos in pairs:
         store = ops[store_pos]
         _require_stable(ops, store.address, insert_pos - 1, store_pos,

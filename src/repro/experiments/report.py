@@ -8,7 +8,7 @@ a plain JSON-serialisable dict with the same data as structured series.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Iterable, List, Sequence
 
 __all__ = ["format_table", "format_percent", "round6"]
 

@@ -27,7 +27,7 @@ after grafting (see :func:`repro.bench.runner.BenchmarkRunner`'s
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from .. import obs
@@ -37,8 +37,9 @@ from ..ir.program import Function, Program
 from ..ir.tree import DecisionTree, ExitKind, TreeExit
 from ..ir.validate import validate_program
 from ..ir.values import BOOL, Operand, Register
+from ..passes import Pass, PassContext, PassResult, register
 
-__all__ = ["GraftConfig", "GraftStats", "graft_program"]
+__all__ = ["GraftConfig", "GraftStats", "GraftPass", "graft_program"]
 
 
 @dataclass(frozen=True)
@@ -289,3 +290,32 @@ def graft_program(program: Program,
         span.incr("trees_removed", stats.trees_removed)
         span.annotate(ops_before=stats.ops_before, ops_after=stats.ops_after)
     return grafted, stats
+
+
+@register
+class GraftPass(Pass):
+    """Tail duplication as a compile-stage pass.
+
+    Grafting rewrites the tree structure a profile is keyed by, so a
+    changing graft invalidates any previously collected profile (the
+    manager drops it from the context automatically).
+    """
+
+    name = "graft"
+    description = "enlarge decision trees by tail duplication"
+    stage = "compile"
+    invalidates = frozenset({"profile", "depgraph", "schedule"})
+
+    def __init__(self, config: GraftConfig = GraftConfig()):
+        self.config = config
+
+    def run(self, program: Program, ctx: PassContext) -> PassResult:
+        grafted, stats = graft_program(program, self.config)
+        return PassResult(
+            grafted,
+            changed=stats.grafts > 0 or stats.trees_removed > 0,
+            stats={
+                "grafts": stats.grafts,
+                "trees_removed": stats.trees_removed,
+            },
+        )

@@ -10,7 +10,7 @@ array indexing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Union
+from typing import List, Union
 
 from .errors import CompileError
 

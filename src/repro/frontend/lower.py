@@ -19,7 +19,7 @@ Conventions established here and relied upon downstream:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple
 
 from ..ir.affine import AffineExpr
 from ..ir.memory import MemAccess, Region, RegionKind

@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..ir.guards import Guard
-from ..ir.operations import OpCategory, Opcode, Operation, PathLiterals
+from ..ir.operations import Opcode, Operation, PathLiterals
 from ..ir.program import Function
 from ..ir.tree import DecisionTree, ExitKind, TreeExit
 from ..ir.values import BOOL, Register

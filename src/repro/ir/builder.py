@@ -6,7 +6,7 @@ assignment and register typing in one place.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Union
 
 from .guards import Guard
 from .memory import MemAccess

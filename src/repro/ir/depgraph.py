@@ -19,12 +19,12 @@ other; without this the transformed code would re-serialise.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from .. import obs
 from .guard_analysis import GuardAnalysis
-from .guards import Guard, guards_disjoint
+from .guards import Guard
 from .operations import Operation
 from .tree import DecisionTree, TreeExit
 from .values import Register

@@ -16,7 +16,7 @@ that defeat the static disambiguator in the Numerical Recipes kernels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .tree import DecisionTree
 from .values import Register

@@ -21,8 +21,8 @@ to the dependence graph; list order itself carries no timing meaning.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 from .guards import Guard
 from .operations import Operation, PathLiterals

@@ -7,9 +7,9 @@ surface as a wrong benchmark number rather than an error.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Optional, Set
 
-from .operations import Opcode, Operation
+from .operations import Opcode
 from .program import Function, Program
 from .tree import DecisionTree, ExitKind
 from .values import Register

@@ -28,12 +28,13 @@ from ..disambig.spd_heuristic import SpDConfig
 from ..frontend.driver import compile_source
 from ..frontend.grafting import GraftConfig, graft_program
 from ..machine.description import LifeMachine, machine
+from ..passes import PassPipelineConfig
 from ..sim.evaluate import evaluate_program
 from ..sim.interpreter import run_program
 from .artifacts import (CompiledArtifact, DisambiguationArtifact,
                         ProfileArtifact, TimingArtifact)
 from .fingerprint import (fingerprint, graft_config_key, latency_key,
-                          machine_key, spd_config_key)
+                          machine_key, pass_pipeline_key, spd_config_key)
 from .store import ArtifactStore
 
 __all__ = ["Pipeline"]
@@ -45,17 +46,23 @@ class Pipeline:
     def __init__(self, spd_config: SpDConfig = SpDConfig(),
                  graft: Optional[GraftConfig] = None,
                  validate_spec_output: bool = True,
-                 store: Optional[ArtifactStore] = None):
+                 store: Optional[ArtifactStore] = None,
+                 passes: Optional[PassPipelineConfig] = None,
+                 guard_words: int = 0):
         self.spd_config = spd_config
         self.graft = graft
         self.validate_spec_output = validate_spec_output
         self.store = store if store is not None else ArtifactStore()
+        self.passes = (passes if passes is not None
+                       else PassPipelineConfig()).validated()
+        self.guard_words = guard_words
 
     # -- fingerprints --------------------------------------------------------
 
     def compile_fingerprint(self, source: str) -> str:
         return fingerprint({"stage": "compiled", "source": source,
-                            "graft": graft_config_key(self.graft)})
+                            "graft": graft_config_key(self.graft),
+                            "guard_words": self.guard_words})
 
     def profile_fingerprint(self, source: str) -> str:
         return fingerprint({"stage": "profile",
@@ -65,7 +72,11 @@ class Pipeline:
                          memory_latency: int = 2) -> str:
         payload = {"stage": "view",
                    "compiled": self.compile_fingerprint(source),
-                   "kind": kind.value}
+                   "kind": kind.value,
+                   # the cleanup pass list runs on every view, so every
+                   # view's fingerprint must see it (a changed pass list
+                   # or pass option is a cache miss)
+                   "passes": pass_pipeline_key(self.passes)}
         if kind is Disambiguator.SPEC:
             # only SPEC's Gain() estimates see the latency table and the
             # heuristic knobs; the other views share one entry per source
@@ -88,7 +99,8 @@ class Pipeline:
         artifact = self.store.get("compiled", fp)
         if artifact is None:
             with obs.span("pipeline.compile", program=label):
-                program = compile_source(source)
+                program = compile_source(source,
+                                         guard_words=self.guard_words)
                 if self.graft is not None:
                     # grafting changes the tree structure, so every later
                     # stage runs against the grafted program
@@ -111,7 +123,12 @@ class Pipeline:
     def view(self, label: str, source: str, kind: Disambiguator,
              memory_latency: int = 2) -> DisambiguationArtifact:
         fp = self.view_fingerprint(source, kind, memory_latency)
-        artifact = self.store.get("view", fp)
+        # --dump-after is observational (excluded from the fingerprint),
+        # so a requested dump must bypass the cache: neither serve a hit
+        # (no passes would run, no dump would happen) nor poison the
+        # store with an entry other configs would then share
+        use_cache = not self.passes.dump_after
+        artifact = self.store.get("view", fp) if use_cache else None
         if artifact is None:
             compiled = self.compiled(label, source)
             profiled = self.profile(label, source)
@@ -120,7 +137,7 @@ class Pipeline:
                 result = disambiguate(
                     compiled.program, kind, profile=profiled.profile,
                     machine=machine(None, memory_latency),
-                    spd_config=self.spd_config)
+                    spd_config=self.spd_config, passes=self.passes)
                 if kind is Disambiguator.SPEC and self.validate_spec_output:
                     transformed = run_program(result.program.copy(),
                                               collect_profile=False)
@@ -128,7 +145,8 @@ class Pipeline:
                         raise AssertionError(
                             f"SpD changed the output of program {label!r}")
             artifact = DisambiguationArtifact(fp, label, result)
-            self.store.put("view", fp, artifact)
+            if use_cache:
+                self.store.put("view", fp, artifact)
         return artifact
 
     def timing(self, label: str, source: str, kind: Disambiguator,

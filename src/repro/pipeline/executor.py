@@ -31,8 +31,9 @@ from .. import obs
 from ..disambig.pipeline import Disambiguator
 from ..disambig.spd_heuristic import SpDConfig
 from ..frontend.grafting import GraftConfig
+from ..passes import PassPipelineConfig
 from ..machine.description import LifeMachine
-from .artifacts import DisambiguationArtifact, TimingArtifact
+from .artifacts import TimingArtifact
 from .core import Pipeline
 from .store import ArtifactStore
 
@@ -70,6 +71,8 @@ class _WorkerSpec:
     graft: Optional[GraftConfig]
     validate_spec_output: bool
     cache_root: Optional[str]
+    passes: PassPipelineConfig = PassPipelineConfig()
+    guard_words: int = 0
 
 
 #: Per-worker pipeline, built once by the pool initializer so a worker
@@ -83,7 +86,8 @@ def _init_worker(spec: _WorkerSpec) -> None:
     _worker_pipeline = Pipeline(
         spd_config=spec.spd_config, graft=spec.graft,
         validate_spec_output=spec.validate_spec_output,
-        store=ArtifactStore(spec.cache_root))
+        store=ArtifactStore(spec.cache_root),
+        passes=spec.passes, guard_words=spec.guard_words)
 
 
 def _run_job(job: Job):
@@ -119,7 +123,8 @@ def run_jobs(pipeline: Pipeline, jobs: Sequence[Job],
         spd_config=pipeline.spd_config, graft=pipeline.graft,
         validate_spec_output=pipeline.validate_spec_output,
         cache_root=(str(pipeline.store.root)
-                    if pipeline.store.root is not None else None))
+                    if pipeline.store.root is not None else None),
+        passes=pipeline.passes, guard_words=pipeline.guard_words)
     with obs.span("pipeline.parallel", jobs=workers, tasks=len(jobs)):
         obs.set_gauge("pipeline.jobs", workers)
         obs.incr("pipeline.parallel_tasks", len(jobs))

@@ -25,14 +25,18 @@ from typing import Dict, Optional
 from ..disambig.spd_heuristic import SpDConfig
 from ..frontend.grafting import GraftConfig
 from ..machine.description import LifeMachine
+from ..passes import PassPipelineConfig
 
 __all__ = ["PIPELINE_VERSION", "fingerprint", "spd_config_key",
-           "graft_config_key", "machine_key", "latency_key"]
+           "graft_config_key", "machine_key", "latency_key",
+           "pass_pipeline_key"]
 
 #: Bump whenever a toolchain change alters any stage's output or the
 #: pickled artifact layout: old on-disk entries become unreachable (and
 #: are discarded on sight by the store's version check).
-PIPELINE_VERSION = 1
+#: 2: DisambiguationResult grew the ``pass_stats`` field (pass-manager
+#: refactor); version-1 view artifacts lack it.
+PIPELINE_VERSION = 2
 
 
 def fingerprint(payload: Dict[str, object]) -> str:
@@ -60,3 +64,10 @@ def latency_key(machine: LifeMachine) -> Dict[str, object]:
 def machine_key(machine: LifeMachine) -> Dict[str, object]:
     """Issue width plus the full latency table."""
     return {"num_fus": machine.num_fus, "latencies": latency_key(machine)}
+
+
+def pass_pipeline_key(config: PassPipelineConfig) -> Dict[str, object]:
+    """The cache-relevant pass-pipeline configuration (the pass list and
+    any pass options; observational knobs like ``dump_after`` and
+    ``validate`` are excluded by :meth:`PassPipelineConfig.cache_key`)."""
+    return config.cache_key()

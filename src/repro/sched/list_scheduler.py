@@ -15,10 +15,10 @@ critical-path priority over the dependence graph:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from .. import obs
-from ..ir.depgraph import ArcKind, DependenceGraph
+from ..ir.depgraph import DependenceGraph
 from ..machine.description import LifeMachine
 from ..sim.timing import (TreeTiming, guard_completion_floor,
                           infinite_machine_timing, issue_constraint)

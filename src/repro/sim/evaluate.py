@@ -14,14 +14,14 @@ tree execution costs the schedule prefix up to the taken exit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from .. import obs
 from ..ir.depgraph import DependenceGraph
 from ..ir.program import Program
 from ..machine.description import LifeMachine
 from .profile import ProfileData, TreeKey
-from .timing import TreeTiming, infinite_machine_timing
+from .timing import TreeTiming
 
 __all__ = ["TreeReport", "ProgramTiming", "evaluate_program"]
 

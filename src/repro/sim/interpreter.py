@@ -21,10 +21,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from .. import obs
-from ..ir.operations import Opcode, Operation
+from ..ir.operations import Opcode
 from ..ir.program import Program
-from ..ir.tree import DecisionTree, ExitKind
-from ..ir.values import Constant, FLOAT, Operand, Register
+from ..ir.tree import ExitKind
+from ..ir.values import Constant, FLOAT, Operand
 from .profile import ProfileData
 
 __all__ = ["InterpreterError", "RunResult", "Interpreter", "run_program"]

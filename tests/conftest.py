@@ -8,8 +8,8 @@ import pytest
 
 from repro.bench.runner import BenchmarkRunner
 from repro.frontend import compile_source
-from repro.ir import (ArrayDecl, Constant, Function, Opcode, Program,
-                      Register, TreeBuilder, validate_program)
+from repro.ir import (ArrayDecl, Function, Opcode, Program,
+                      TreeBuilder, validate_program)
 from repro.sim import run_program
 
 # ---------------------------------------------------------------------------

@@ -1,6 +1,5 @@
 """Unit tests for the GCD test and Banerjee inequalities."""
 
-import pytest
 
 from repro.disambig import banerjee_test, gcd_test, subscripts_may_alias
 from repro.ir import AffineExpr

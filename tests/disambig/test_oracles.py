@@ -1,6 +1,5 @@
 """Unit tests for the alias oracles behind each disambiguator."""
 
-import pytest
 
 from repro.disambig import (make_perfect_oracle, make_static_oracle,
                             naive_oracle, static_answer)

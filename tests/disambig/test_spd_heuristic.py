@@ -33,7 +33,6 @@ class TestCandidateGains:
         zero gain and is not a candidate."""
         tree = raw_tree_program.functions["main"].trees["t0"].copy()
         # make the load chain non-critical by adding a long serial chain
-        from repro.ir import Opcode, TreeBuilder
         graph = build_dependence_graph(tree)
         gains = _candidate_gains(graph, machine(None, 2), [1.0])
         # with 2-cycle memory the store->load chain still dominates, so
@@ -85,7 +84,7 @@ class TestHeuristicLoop:
         """With memory latency 2 and a trivial cone, the overhead can
         exceed the benefit; whatever the heuristic decides, the tree
         must never get slower on the infinite machine."""
-        from repro.sim import average_time, infinite_machine_timing
+        from repro.sim import infinite_machine_timing
         for mem in (2, 6):
             program = build_raw_tree_program(3, 5)
             tree = program.functions["main"].trees["t0"]

@@ -119,7 +119,8 @@ class TestFigure62:
         def gap(lat):
             return sum(
                 bars[Disambiguator.PERFECT] - bars[Disambiguator.STATIC]
-                for (name, l), bars in f62.speedups.items() if l == lat)
+                for (_name, latency), bars in f62.speedups.items()
+                if latency == lat)
         assert gap(6) > gap(2)
 
     def test_render(self, f62):

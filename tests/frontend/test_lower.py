@@ -1,7 +1,7 @@
 """Structural tests of lowering: affine capture, regions, bounds."""
 
 from repro.frontend import compile_source
-from repro.ir import AffineExpr, Opcode, RegionKind
+from repro.ir import RegionKind
 
 
 def find_mem_ops(program, func="main"):

@@ -23,7 +23,6 @@ class TestTreeShapes:
         trees = trees_of(program)
         # one entry tree (with both arms guarded inside) plus the join tree
         entry = trees[[n for n in trees if "entry" in n][0]]
-        guarded = [op for op in entry.ops if op.guard is not None]
         stores = [op for op in entry.ops if op.is_store]
         assert len(stores) == 2
         assert all(op.guard is not None for op in stores)

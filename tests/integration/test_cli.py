@@ -157,6 +157,53 @@ class TestListAndReport:
         assert "Integer multiplies" in capsys.readouterr().out
 
 
+class TestPasses:
+    def test_passes_lists_registry(self, capsys):
+        assert main(["passes"]) == 0
+        out = capsys.readouterr().out
+        for name in ("lower", "graft", "spd", "constfold", "copyprop", "dce"):
+            assert name in out, name
+        assert "default cleanup" in out
+
+    def test_bench_with_default_cleanup(self, capsys):
+        assert main(["bench", "perm", "--memory", "2",
+                     "--passes", "default"]) == 0
+        assert "perm" in capsys.readouterr().out
+
+    def test_explicit_pass_list(self, capsys):
+        assert main(["bench", "perm", "--memory", "2",
+                     "--passes", "dce,constfold"]) == 0
+        assert "perm" in capsys.readouterr().out
+
+    def test_unknown_pass_rejected(self, capsys):
+        with pytest.raises(SystemExit, match="unknown pass"):
+            main(["bench", "perm", "--passes", "bogus"])
+
+    def test_non_cleanup_pass_rejected(self, capsys):
+        with pytest.raises(SystemExit, match="cannot run as a cleanup"):
+            main(["bench", "perm", "--passes", "spd"])
+
+    def test_dump_after_writes_ir_to_stderr(self, demo_source, capsys):
+        assert main(["analyze", demo_source, "--passes", "default",
+                     "--dump-after", "dce"]) == 0
+        err = capsys.readouterr().err
+        assert "; IR after pass dce" in err
+        assert "func main" in err
+
+    def test_json_reports_per_pass_deltas(self, demo_source, capsys,
+                                          tmp_path):
+        out_path = tmp_path / "analysis.json"
+        assert main(["analyze", demo_source, "--passes", "default",
+                     "--json", str(out_path)]) == 0
+        data = json.loads(out_path.read_text())
+        spec = data["disambiguators"]["spec"]
+        names = [report["pass"] for report in spec["passes"]]
+        assert names == ["spd", "constfold", "copyprop", "dce"]
+        for report in spec["passes"]:
+            assert report["ops_after"] - report["ops_before"] == \
+                report["delta"]
+
+
 class TestSchedule:
     def test_schedule_dump(self, demo_source, capsys):
         assert main(["schedule", demo_source, "--fus", "2",

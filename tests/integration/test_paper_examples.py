@@ -1,6 +1,5 @@
 """Integration tests reproducing the paper's worked examples end-to-end."""
 
-import pytest
 
 from repro.disambig import Disambiguator, disambiguate
 from repro.frontend import compile_source

@@ -46,7 +46,7 @@ class TestGuardContext:
         b = TreeBuilder("t")
         cond = b.value(Opcode.CMP_LT, [1, 2])
         b.set_guard(Guard(cond))
-        temp = b.value(Opcode.ADD, [1, 2])
+        b.value(Opcode.ADD, [1, 2])
         op = b.tree.ops[-1]
         assert op.guard is None and op.path_literals == frozenset()
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ir import (AliasAnswer, ArcKind, BOOL, Constant, Guard, Opcode,
+from repro.ir import (AliasAnswer, ArcKind, Guard, Opcode,
                       Register, TreeBuilder, build_dependence_graph,
                       naive_oracle)
 

@@ -49,10 +49,10 @@ class TestPipelineSpans:
         names = span_names(traced_pipeline.finish())
         for expected in ("frontend.compile", "frontend.parse",
                          "frontend.semantic", "frontend.lower",
-                         "frontend.treegen", "frontend.validate",
-                         "sim.run", "disambig.spec",
-                         "disambig.spd_transform", "disambig.build_graphs",
-                         "timing.evaluate"):
+                         "frontend.treegen", "passes.lower",
+                         "passes.validate", "sim.run", "disambig.spec",
+                         "passes.spd", "disambig.spd_transform",
+                         "disambig.build_graphs", "timing.evaluate"):
             assert expected in names, expected
 
     def test_work_counters_recorded(self, traced_pipeline):

@@ -1,0 +1,273 @@
+"""Unit tests for the guard-aware cleanup passes on hand-built trees."""
+
+
+from repro.ir import (ArrayDecl, BOOL, Constant, Function, Guard, Opcode,
+                      Program, Register, TreeBuilder, validate_program)
+from repro.passes.cleanup import (eliminate_dead_code, fold_constants,
+                                  propagate_copies)
+from repro.sim.interpreter import run_program
+
+
+def one_tree_program(build):
+    """Build a single-tree main() around *build(builder)*; validate it."""
+    program = Program()
+    program.globals_.append(ArrayDecl("a", "int", (8,)))
+    function = Function("main")
+    builder = TreeBuilder("t0")
+    build(builder)
+    builder.halt()
+    function.add_tree(builder.tree)
+    program.add_function(function)
+    program.layout_memory()
+    validate_program(program)
+    return program
+
+
+def main_tree(program):
+    return program.functions["main"].trees["t0"]
+
+
+def check_equivalent_and_idempotent(program, rewrite):
+    """*rewrite(tree)* must preserve run output and reach a fixpoint."""
+    reference = run_program(program.copy(), collect_profile=False)
+    cleaned = program.copy()
+    rewrite(main_tree(cleaned))
+    validate_program(cleaned)
+    result = run_program(cleaned.copy(), collect_profile=False)
+    assert result.output == reference.output
+    again = cleaned.copy()
+    rewrite(main_tree(again))
+    assert [op for op in main_tree(again).ops] == \
+        [op for op in main_tree(cleaned).ops]
+    return cleaned
+
+
+class TestConstantFolding:
+    def test_folds_constant_binary_op(self):
+        program = one_tree_program(lambda b: b.emit(
+            Opcode.PRINT, [b.value(Opcode.ADD, [2, 3], speculated=False)]))
+        cleaned = check_equivalent_and_idempotent(
+            program, lambda tree: fold_constants(tree))
+        op = main_tree(cleaned).ops[0]
+        assert op.opcode is Opcode.MOV
+        assert op.srcs == (Constant(5),)
+
+    def test_propagates_into_later_reads_to_fixpoint(self):
+        def build(b):
+            three = b.tree.fresh_register("int")
+            b.emit(Opcode.MOV, [3], dest=three)
+            four = b.value(Opcode.ADD, [three, 1], speculated=False)
+            b.emit(Opcode.PRINT, [four])
+
+        program = one_tree_program(build)
+        cleaned = check_equivalent_and_idempotent(
+            program, lambda tree: fold_constants(tree))
+        # ADD %three, #1 became MOV #4 via propagate-then-fold
+        assert main_tree(cleaned).ops[1].srcs == (Constant(4),)
+
+    def test_select_with_constant_condition(self):
+        def build(b):
+            cond = b.tree.fresh_register(BOOL)
+            b.emit(Opcode.MOV, [1], dest=cond)
+            picked = b.tree.fresh_register("int")
+            b.emit(Opcode.SELECT, [cond, 7, 9], dest=picked)
+            b.emit(Opcode.PRINT, [picked])
+
+        program = one_tree_program(build)
+        cleaned = check_equivalent_and_idempotent(
+            program, lambda tree: fold_constants(tree))
+        assert main_tree(cleaned).ops[1].opcode is Opcode.MOV
+        assert main_tree(cleaned).ops[1].srcs == (Constant(7),)
+
+    def test_division_by_zero_left_unfolded(self):
+        def build(b):
+            # guarded by an impossible condition at run time, so the
+            # interpreter never evaluates it — folding would fault
+            flag = b.tree.fresh_register(BOOL)
+            b.emit(Opcode.CMP_LT, [1, 0], dest=flag)
+            doomed = b.tree.fresh_register("int")
+            b.emit(Opcode.DIV, [1, 0], dest=doomed, guard=Guard(flag))
+            b.emit(Opcode.PRINT, [42])
+
+        program = one_tree_program(build)
+        cleaned = check_equivalent_and_idempotent(
+            program, lambda tree: fold_constants(tree))
+        kept = [op.opcode for op in main_tree(cleaned).ops]
+        assert Opcode.DIV in kept
+
+    def test_guard_and_op_id_preserved(self):
+        def build(b):
+            flag = b.tree.fresh_register(BOOL)
+            b.emit(Opcode.CMP_LT, [0, 1], dest=flag)
+            v = Register("v.x", "int")
+            b.emit(Opcode.ADD, [2, 2], dest=v, guard=Guard(flag))
+            b.emit(Opcode.PRINT, [v])
+
+        program = one_tree_program(build)
+        original = main_tree(program).ops[1]
+        cleaned = check_equivalent_and_idempotent(
+            program, lambda tree: fold_constants(tree))
+        folded = main_tree(cleaned).ops[1]
+        assert folded.opcode is Opcode.MOV
+        assert folded.op_id == original.op_id
+        assert folded.guard == original.guard
+
+
+class TestCopyPropagation:
+    def test_forwards_simple_copy(self):
+        def build(b):
+            src = b.value(Opcode.ADD, [1, 2], speculated=False)
+            copy = b.tree.fresh_register("int")
+            b.emit(Opcode.MOV, [src], dest=copy)
+            total = b.value(Opcode.ADD, [copy, 10], speculated=False)
+            b.emit(Opcode.PRINT, [total])
+
+        program = one_tree_program(build)
+        cleaned = check_equivalent_and_idempotent(
+            program, lambda tree: propagate_copies(tree))
+        add = main_tree(cleaned).ops[2]
+        assert add.srcs[0].name.startswith("t0")  # reads the original
+
+    def test_guarded_copy_not_forwarded(self):
+        def build(b):
+            flag = b.tree.fresh_register(BOOL)
+            b.emit(Opcode.CMP_LT, [0, 1], dest=flag)
+            src = b.value(Opcode.ADD, [1, 2], speculated=False)
+            v = Register("v.c", "int")
+            b.emit(Opcode.MOV, [src], dest=v, guard=Guard(flag))
+            total = b.value(Opcode.ADD, [v, 10], speculated=False)
+            b.emit(Opcode.PRINT, [total])
+
+        program = one_tree_program(build)
+        before = [op.srcs for op in main_tree(program).ops]
+        cleaned = check_equivalent_and_idempotent(
+            program, lambda tree: propagate_copies(tree))
+        assert [op.srcs for op in main_tree(cleaned).ops] == before
+
+    def test_copy_of_redefined_source_not_forwarded(self):
+        def build(b):
+            v = Register("v.s", "int")
+            b.emit(Opcode.MOV, [1], dest=v)
+            copy = b.tree.fresh_register("int")
+            b.emit(Opcode.MOV, [v], dest=copy)
+            b.emit(Opcode.MOV, [2], dest=v)  # src redefined after the copy
+            b.emit(Opcode.PRINT, [copy])
+
+        program = one_tree_program(build)
+        cleaned = check_equivalent_and_idempotent(
+            program, lambda tree: propagate_copies(tree))
+        print_op = main_tree(cleaned).ops[-1]
+        assert print_op.srcs[0].name == "copy" or \
+            print_op.srcs[0].name.startswith("t")
+
+    def test_boolean_copy_forwarded_into_guards(self):
+        def build(b):
+            flag = b.tree.fresh_register(BOOL)
+            b.emit(Opcode.CMP_LT, [0, 1], dest=flag)
+            alias = b.tree.fresh_register(BOOL)
+            b.emit(Opcode.MOV, [flag], dest=alias)
+            v = Register("v.x", "int")
+            b.emit(Opcode.MOV, [5], dest=v, guard=Guard(alias))
+            b.emit(Opcode.PRINT, [v])
+
+        program = one_tree_program(build)
+        cleaned = check_equivalent_and_idempotent(
+            program, lambda tree: propagate_copies(tree))
+        guarded = main_tree(cleaned).ops[2]
+        assert guarded.guard.reg.name == main_tree(cleaned).ops[0].dest.name
+
+
+class TestDeadCodeElimination:
+    def test_removes_unread_temporary(self):
+        def build(b):
+            b.value(Opcode.ADD, [1, 2], speculated=False)  # never read
+            b.emit(Opcode.PRINT, [7])
+
+        program = one_tree_program(build)
+        cleaned = check_equivalent_and_idempotent(
+            program, lambda tree: eliminate_dead_code(tree))
+        assert [op.opcode for op in main_tree(cleaned).ops] == [Opcode.PRINT]
+
+    def test_keeps_variable_writes_and_side_effects(self):
+        def build(b):
+            v = Register("v.x", "int")
+            b.emit(Opcode.MOV, [3], dest=v)  # variable: live-out
+            b.store(9, 0)
+            b.emit(Opcode.PRINT, [v])
+
+        program = one_tree_program(build)
+        cleaned = check_equivalent_and_idempotent(
+            program, lambda tree: eliminate_dead_code(tree))
+        assert len(main_tree(cleaned).ops) == 3
+
+    def test_removes_never_committing_guarded_store(self):
+        def build(b):
+            flag = Register("v.f", BOOL)
+            never = b.tree.fresh_register(BOOL)
+            # flag AND NOT flag: contradictory, can never be true
+            b.emit(Opcode.ANDN, [flag, flag], dest=never)
+            b.store(1, 0, guard=Guard(never))
+            b.emit(Opcode.PRINT, [5])
+
+        program = one_tree_program(build)
+        cleaned = check_equivalent_and_idempotent(
+            program, lambda tree: eliminate_dead_code(tree))
+        assert all(op.opcode is not Opcode.STORE
+                   for op in main_tree(cleaned).ops)
+
+    def test_statically_false_guard_removes_op(self):
+        def build(b):
+            off = b.tree.fresh_register(BOOL)
+            b.emit(Opcode.MOV, [0], dest=off)
+            b.store(1, 0, guard=Guard(off))
+            b.emit(Opcode.PRINT, [5])
+
+        program = one_tree_program(build)
+        cleaned = check_equivalent_and_idempotent(
+            program, lambda tree: eliminate_dead_code(tree))
+        assert all(op.opcode is not Opcode.STORE
+                   for op in main_tree(cleaned).ops)
+
+    def test_statically_true_guard_stripped(self):
+        def build(b):
+            on = b.tree.fresh_register(BOOL)
+            b.emit(Opcode.MOV, [1], dest=on)
+            b.store(1, 0, guard=Guard(on))
+            loaded = b.load(0)
+            b.emit(Opcode.PRINT, [loaded])
+
+        program = one_tree_program(build)
+        cleaned = check_equivalent_and_idempotent(
+            program, lambda tree: eliminate_dead_code(tree))
+        stores = [op for op in main_tree(cleaned).ops
+                  if op.opcode is Opcode.STORE]
+        assert len(stores) == 1 and stores[0].guard is None
+
+    def test_guarded_def_with_live_reader_survives(self):
+        def build(b):
+            flag = Register("v.f", BOOL)
+            never = b.tree.fresh_register(BOOL)
+            b.emit(Opcode.ANDN, [flag, flag], dest=never)
+            t = b.tree.fresh_register("int")
+            b.emit(Opcode.MOV, [9], dest=t)  # def-before-read anchor
+            b.emit(Opcode.ADD, [t, 1], dest=t.__class__(t.name, t.type),
+                   guard=Guard(never))
+            b.emit(Opcode.PRINT, [t])
+
+        program = one_tree_program(build)
+        cleaned = check_equivalent_and_idempotent(
+            program, lambda tree: eliminate_dead_code(tree))
+        # the never-committing ADD defines a register that is still
+        # read, so the def must stay (validation discipline)
+        assert any(op.opcode is Opcode.ADD for op in main_tree(cleaned).ops)
+
+    def test_exits_never_touched(self):
+        def build(b):
+            b.value(Opcode.ADD, [1, 2], speculated=False)
+            b.emit(Opcode.PRINT, [3])
+
+        program = one_tree_program(build)
+        before = list(main_tree(program).exits)
+        cleaned = check_equivalent_and_idempotent(
+            program, lambda tree: eliminate_dead_code(tree))
+        assert main_tree(cleaned).exits == before

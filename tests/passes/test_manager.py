@@ -1,0 +1,177 @@
+"""Pass manager contract: registry, ordering, invalidation, dumps."""
+
+import pytest
+
+from repro.ir.program import Program
+from repro.ir.validate import IRValidationError
+from repro.passes import (DEFAULT_CLEANUP, Pass, PassContext, PassManager,
+                          PassPipelineConfig, PassResult, UnknownPassError,
+                          build_cleanup_passes, pass_class, registered_passes)
+
+
+class _Recorder(Pass):
+    """Test pass that logs its invocation and optionally mutates."""
+
+    stage = "cleanup"
+
+    def __init__(self, name, log, changed=False, invalidates=(),
+                 mutate=None):
+        self.name = name
+        self.log = log
+        self.changed = changed
+        self.invalidates = frozenset(invalidates)
+        self.mutate = mutate
+
+    def run(self, program, ctx):
+        self.log.append(self.name)
+        if self.mutate is not None:
+            self.mutate(program)
+        return PassResult(program, changed=self.changed)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = set(registered_passes())
+        assert {"lower", "graft", "spd",
+                "constfold", "copyprop", "dce"} <= names
+
+    def test_stages(self):
+        assert pass_class("lower").stage == "compile"
+        assert pass_class("graft").stage == "compile"
+        assert pass_class("spd").stage == "disambig"
+        for name in DEFAULT_CLEANUP:
+            assert pass_class(name).stage == "cleanup"
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(UnknownPassError, match="constfold"):
+            pass_class("nope")
+
+    def test_cleanup_builder_orders_and_rejects(self):
+        passes = build_cleanup_passes(("dce", "constfold"))
+        assert [p.name for p in passes] == ["dce", "constfold"]
+        with pytest.raises(UnknownPassError, match="disambig-stage"):
+            build_cleanup_passes(("spd",))
+
+
+class TestPipelineConfig:
+    def test_cache_key_is_the_pass_list(self):
+        config = PassPipelineConfig(cleanup=("dce",))
+        assert config.cache_key() == {"cleanup": ["dce"]}
+
+    def test_observational_knobs_not_in_cache_key(self):
+        loud = PassPipelineConfig(cleanup=("dce",), validate=False,
+                                  dump_after=("dce",))
+        quiet = PassPipelineConfig(cleanup=("dce",))
+        assert loud.cache_key() == quiet.cache_key()
+
+    def test_validated_rejects_unknown_and_misplaced(self):
+        with pytest.raises(UnknownPassError):
+            PassPipelineConfig(cleanup=("nope",)).validated()
+        with pytest.raises(UnknownPassError):
+            PassPipelineConfig(cleanup=("lower",)).validated()
+        with pytest.raises(UnknownPassError):
+            PassPipelineConfig(dump_after=("nope",)).validated()
+        config = PassPipelineConfig(cleanup=DEFAULT_CLEANUP,
+                                    dump_after=("spd",))
+        assert config.validated() is config
+
+
+class TestManagerRun:
+    def test_passes_run_in_order(self):
+        log = []
+        manager = PassManager([_Recorder("a", log), _Recorder("b", log),
+                               _Recorder("c", log)])
+        manager.run(Program())
+        assert log == ["a", "b", "c"]
+
+    def test_program_threads_through(self):
+        replacement = Program()
+
+        class Swap(Pass):
+            name = "swap"
+
+            def run(self, program, ctx):
+                return PassResult(replacement, changed=False)
+
+        seen = []
+        out = PassManager([Swap(), _Recorder("probe", [],
+                                             mutate=seen.append)]).run(
+            Program())
+        assert out is replacement
+        assert seen == [replacement]
+
+    def test_invalidations_accumulate_and_drop_profile(self):
+        ctx = PassContext(profile=object())
+        manager = PassManager([
+            _Recorder("a", [], changed=True, invalidates={"depgraph"}),
+            _Recorder("b", [], changed=True, invalidates={"profile"}),
+        ], validate=False)
+        manager.run(Program(), ctx)
+        assert ctx.invalidated == {"depgraph", "profile"}
+        assert ctx.profile is None
+
+    def test_unchanged_pass_does_not_invalidate(self):
+        marker = object()
+        ctx = PassContext(profile=marker)
+        manager = PassManager([
+            _Recorder("a", [], changed=False, invalidates={"profile"})])
+        manager.run(Program(), ctx)
+        assert ctx.invalidated == set()
+        assert ctx.profile is marker
+
+    def test_reports_have_op_deltas(self, raw_tree_program):
+        def drop_one(program):
+            tree = program.functions["main"].trees["t0"]
+            tree.ops = [op for op in tree.ops
+                        if op.dest is None or "junk" not in op.dest.name]
+
+        manager = PassManager([_Recorder("noop", []),
+                               _Recorder("shrink", [], changed=True,
+                                         mutate=drop_one)],
+                              validate=False)
+        program = raw_tree_program.copy()
+        tree = program.functions["main"].trees["t0"]
+        from repro.ir import Register
+        junk = Register("junk0.main", "int")
+        tree.ops.insert(0, tree.ops[0].with_dest(junk).with_id(
+            tree.fresh_op_id()))
+        manager.run(program)
+        noop, shrink = manager.reports
+        assert noop["delta"] == 0 and noop["changed"] is False
+        assert shrink["delta"] == -1 and shrink["changed"] is True
+        assert shrink["ops_before"] == noop["ops_after"]
+
+    def test_validation_catches_broken_pass(self, raw_tree_program):
+        def corrupt(program):
+            tree = program.functions["main"].trees["t0"]
+            del tree.ops[0]  # drops a def its reader still needs
+
+        manager = PassManager([_Recorder("bad", [], changed=True,
+                                         mutate=corrupt)])
+        with pytest.raises(IRValidationError):
+            manager.run(raw_tree_program.copy())
+
+    def test_validation_can_be_disabled(self, raw_tree_program):
+        def corrupt(program):
+            tree = program.functions["main"].trees["t0"]
+            del tree.ops[0]
+
+        manager = PassManager([_Recorder("bad", [], changed=True,
+                                         mutate=corrupt)], validate=False)
+        manager.run(raw_tree_program.copy())  # no exception
+
+
+class TestDumpAfter:
+    def test_named_pass_dumped_via_sink(self, raw_tree_program):
+        dumps = []
+        manager = PassManager(
+            [_Recorder("a", []), _Recorder("b", [])],
+            dump_after=("b",),
+            dump_sink=lambda name, text: dumps.append((name, text)))
+        manager.run(raw_tree_program.copy())
+        assert [name for name, _ in dumps] == ["b"]
+        assert "tree t0" in dumps[0][1]
+
+    def test_no_dump_by_default(self, raw_tree_program, capsys):
+        PassManager([_Recorder("a", [])]).run(raw_tree_program.copy())
+        assert capsys.readouterr().err == ""

@@ -11,6 +11,7 @@ from repro.disambig.pipeline import Disambiguator
 from repro.disambig.spd_heuristic import SpDConfig
 from repro.frontend.grafting import GraftConfig
 from repro.machine.description import machine
+from repro.passes import DEFAULT_CLEANUP, PassPipelineConfig
 from repro.pipeline.core import Pipeline
 from repro.pipeline.fingerprint import PIPELINE_VERSION, fingerprint
 from repro.pipeline.store import ArtifactStore
@@ -62,6 +63,16 @@ class TestCompileFingerprint:
         assert (memory_pipeline().compile_fingerprint(SOURCE)
                 == memory_pipeline().compile_fingerprint(SOURCE))
 
+    def test_guard_words_change(self):
+        # guard_words alters the lowered IR, so it must key compiled
+        # artifacts (and, chained, every downstream stage)
+        plain = memory_pipeline()
+        padded = memory_pipeline(guard_words=2)
+        assert (plain.compile_fingerprint(SOURCE)
+                != padded.compile_fingerprint(SOURCE))
+        assert (plain.view_fingerprint(SOURCE, Disambiguator.STATIC)
+                != padded.view_fingerprint(SOURCE, Disambiguator.STATIC))
+
 
 class TestViewFingerprint:
     def test_kind_change(self):
@@ -99,6 +110,55 @@ class TestViewFingerprint:
         pipe = memory_pipeline()
         assert (pipe.view_fingerprint(SOURCE, Disambiguator.SPEC)
                 != pipe.view_fingerprint(SOURCE + "\n", Disambiguator.SPEC))
+
+
+class TestPassPipelineFingerprint:
+    def test_cleanup_list_changes_every_view_kind(self):
+        plain = memory_pipeline()
+        cleaned = memory_pipeline(
+            passes=PassPipelineConfig(cleanup=DEFAULT_CLEANUP))
+        for kind in Disambiguator:
+            assert (plain.view_fingerprint(SOURCE, kind)
+                    != cleaned.view_fingerprint(SOURCE, kind)), kind
+
+    def test_cleanup_order_matters(self):
+        forward = memory_pipeline(
+            passes=PassPipelineConfig(cleanup=("constfold", "dce")))
+        reverse = memory_pipeline(
+            passes=PassPipelineConfig(cleanup=("dce", "constfold")))
+        assert (forward.view_fingerprint(SOURCE, Disambiguator.SPEC)
+                != reverse.view_fingerprint(SOURCE, Disambiguator.SPEC))
+
+    def test_observational_knobs_do_not_change_fingerprint(self):
+        quiet = memory_pipeline(
+            passes=PassPipelineConfig(cleanup=DEFAULT_CLEANUP))
+        loud = memory_pipeline(
+            passes=PassPipelineConfig(cleanup=DEFAULT_CLEANUP,
+                                      validate=False,
+                                      dump_after=("dce",)))
+        assert (quiet.view_fingerprint(SOURCE, Disambiguator.SPEC)
+                == loud.view_fingerprint(SOURCE, Disambiguator.SPEC))
+
+    def test_compile_fingerprint_ignores_cleanup(self):
+        # cleanup runs inside disambiguation; compiled artifacts are
+        # shared across pass configurations
+        plain = memory_pipeline()
+        cleaned = memory_pipeline(
+            passes=PassPipelineConfig(cleanup=DEFAULT_CLEANUP))
+        assert (plain.compile_fingerprint(SOURCE)
+                == cleaned.compile_fingerprint(SOURCE))
+
+    def test_dump_after_bypasses_view_cache(self):
+        store = ArtifactStore(root=None)
+        pipe = Pipeline(store=store,
+                        passes=PassPipelineConfig(cleanup=DEFAULT_CLEANUP,
+                                                  dump_after=("dce",)))
+        dumped = pipe.view("t", SOURCE, Disambiguator.SPEC)
+        key = pipe.view_fingerprint(SOURCE, Disambiguator.SPEC)
+        assert store.get("view", key) is None
+        # a second call recomputes rather than serving a cached artifact
+        again = pipe.view("t", SOURCE, Disambiguator.SPEC)
+        assert again is not dumped
 
 
 class TestTimingFingerprint:

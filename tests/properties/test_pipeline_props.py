@@ -104,7 +104,7 @@ def test_interpreter_deterministic(source):
 def test_grafting_preserves_semantics(source):
     """Tail duplication (Section 7 grafting) never changes output, and
     composes safely with the SPEC pipeline."""
-    from repro.frontend import GraftConfig, graft_program
+    from repro.frontend import graft_program
     program = compile_source(source)
     reference = run_program(program, max_steps=2_000_000)
     grafted, _stats = graft_program(program)

@@ -2,7 +2,7 @@
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.ir import (Constant, Opcode, Operation, Register, TreeBuilder,
+from repro.ir import (Constant, Opcode, TreeBuilder,
                       build_dependence_graph)
 from repro.machine import machine
 from repro.sched import list_schedule

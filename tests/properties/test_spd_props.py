@@ -9,7 +9,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.disambig import SpDNotApplicable, apply_spd
 from repro.ir import (ArrayDecl, Constant, Function, Opcode, Program,
-                      Register, TreeBuilder, build_dependence_graph,
+                      TreeBuilder, build_dependence_graph,
                       validate_program)
 from repro.sim import run_program
 

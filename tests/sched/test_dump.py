@@ -36,7 +36,7 @@ class TestFormatSchedule:
         assert "length" in text and "utilization" in text
 
     def test_guards_visible(self):
-        from repro.ir import Guard, Register
+        from repro.ir import Guard
         builder = TreeBuilder("t")
         cond = builder.value(Opcode.CMP_LT, [1, 2])
         builder.store(1.5, 100, guard=Guard(cond, negate=True))

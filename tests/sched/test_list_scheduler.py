@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.frontend import compile_source
 from repro.ir import Opcode, TreeBuilder, build_dependence_graph
 from repro.machine import machine
 from repro.sched import list_schedule, schedule_tree

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.frontend import compile_source
-from repro.ir import (ArrayDecl, Constant, ExitKind, Function, Guard, Opcode,
-                      Program, Register, TreeBuilder, TreeExit)
+from repro.ir import (ArrayDecl, Function, Guard, Opcode,
+                      Program, TreeBuilder)
 from repro.sim import Interpreter, InterpreterError, run_program
 
 

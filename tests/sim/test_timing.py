@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ir import (BOOL, Guard, Opcode, Register, TreeBuilder,
+from repro.ir import (Guard, Opcode, Register, TreeBuilder,
                       build_dependence_graph)
 from repro.machine import machine
 from repro.sim import average_time, infinite_machine_timing
