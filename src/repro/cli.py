@@ -8,6 +8,7 @@ Usage (also via ``python -m repro``)::
     repro bench NAME [options]           # same for a built-in benchmark
     repro trace TARGET [options]         # per-pass timing tree + metrics
     repro report {table6_1,...,all}      # regenerate a paper table/figure
+    repro fuzz [options]                 # differential fuzzing campaign
     repro list                           # list built-in benchmarks
     repro passes                         # list registered program passes
 
@@ -315,6 +316,50 @@ def _cmd_passes(_args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    """Differential fuzzing campaign (see docs/fuzzing.md)."""
+    from .fuzz import GeneratorConfig, OracleConfig, run_campaign
+
+    oracle_config = OracleConfig(memory_latency=args.memory)
+    generator_config = GeneratorConfig(
+        max_toplevel_stmts=args.max_stmts)
+
+    def campaign():
+        return run_campaign(
+            seed=args.seed, iterations=args.iterations,
+            time_budget=args.time_budget, corpus_dir=args.corpus,
+            generator_config=generator_config,
+            oracle_config=oracle_config,
+            reduce_divergences=not args.no_reduce,
+            progress=lambda msg: print(f"  {msg}"))
+
+    print(f"fuzz: seed {args.seed}, {args.iterations} iterations"
+          + (f", time budget {args.time_budget}s"
+             if args.time_budget else ""))
+    if args.json:
+        with obs.tracing() as tracer:
+            result = campaign()
+        payload = {"schema": "repro.fuzz/1", **result.to_dict(),
+                   **tracer.to_dict()}
+        status = _write_json(args.json, payload)
+        if status:
+            return status
+    else:
+        result = campaign()
+    for record in result.divergent:
+        where = record.corpus_path or "(corpus disabled)"
+        print(f"  reproducer for iteration {record.iteration}: {where}")
+    for error in result.generator_errors:
+        print(f"  generator error: {error}", file=sys.stderr)
+    print(f"fuzz: {result.programs_generated} programs, "
+          f"{len(result.divergent)} divergent, "
+          f"{len(result.generator_errors)} generator errors "
+          f"({result.views_checked} views, {result.executions} "
+          f"differential executions, {result.timings_checked} timing "
+          f"checks, {result.elapsed_seconds:.1f}s)")
+    return 1 if result.divergent else 0
+
+
 def _cmd_report(args) -> int:
     from .experiments import (ablation, figure6_2, figure6_3, figure6_4,
                               table6_1, table6_2, table6_3)
@@ -451,6 +496,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_passes = sub.add_parser("passes", help="list registered program passes")
     p_passes.set_defaults(func=_cmd_passes)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing of the whole pipeline")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0); iteration i "
+                             "fuzzes program seed*1000003+i")
+    p_fuzz.add_argument("--iterations", type=int, default=100, metavar="N",
+                        help="programs to generate and check (default 100)")
+    p_fuzz.add_argument("--time-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="stop early after this much wall time")
+    p_fuzz.add_argument("--corpus", metavar="DIR", default="fuzz-corpus",
+                        help="directory for reduced reproducers "
+                             "(default fuzz-corpus/)")
+    p_fuzz.add_argument("--max-stmts", type=int, default=7, metavar="N",
+                        help="top-level statement budget per program")
+    p_fuzz.add_argument("--memory", type=int, choices=(2, 6), default=2,
+                        help="memory latency for the oracle's machines")
+    p_fuzz.add_argument("--no-reduce", action="store_true",
+                        help="archive diverging programs unreduced")
+    add_json_flag(p_fuzz)
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_report = sub.add_parser("report", help="regenerate a table/figure")
     p_report.add_argument("which", choices=[

@@ -206,13 +206,26 @@ class _Grafter:
             ))
 
         new_exits: List[TreeExit] = []
-        for sub_exit in target.exits:
-            # spliced exits carry the FULL reach condition, not just the
-            # sub-exit guard: order alone would select correctly, but a
-            # later graft of a spliced exit derives its own reach from
-            # this guard and needs it to be the complete path condition
-            guard = self._conjoin(tree, new_ops, reach,
-                                  map_guard(sub_exit.guard))
+        # Spliced exits must carry COMPLETE path conditions, not just
+        # reach AND sub-guard: order alone would select correctly, but
+        # a later graft pass derives its reach from a spliced exit's
+        # guard (see _reach_guard) and trusts it to be the full path
+        # condition.  The target's final fallback exit (guard None) is
+        # the subtle case — its complete condition is "no earlier
+        # sub-exit fired", accumulated below; guarding its copy with
+        # bare reach would let a second-round graft execute inlined
+        # side effects on paths where an earlier spliced exit was
+        # taken (observed as a doubled loop increment).
+        none_earlier: Optional[Guard] = None
+        last_index = len(target.exits) - 1
+        for sub_index, sub_exit in enumerate(target.exits):
+            sub_guard = map_guard(sub_exit.guard)
+            if sub_guard is None and sub_index == last_index:
+                sub_guard = none_earlier
+            elif sub_guard is not None and sub_index != last_index:
+                none_earlier = self._conjoin(tree, new_ops, none_earlier,
+                                             sub_guard.inverted())
+            guard = self._conjoin(tree, new_ops, reach, sub_guard)
             new_exits.append(TreeExit(
                 kind=sub_exit.kind,
                 guard=guard,

@@ -45,6 +45,10 @@ def _collect_local_arrays(stmts: List[ast.Stmt],
             if stmt.name in into:
                 raise CompileError(
                     f"duplicate local array {stmt.name!r} in {func}", stmt.line)
+            if not stmt.dims or any(d <= 0 for d in stmt.dims):
+                raise CompileError(
+                    f"array {stmt.name!r} has non-positive dimension "
+                    f"{stmt.dims}", stmt.line)
             into[stmt.name] = (stmt.type, stmt.dims)
         elif isinstance(stmt, ast.If):
             _collect_local_arrays(stmt.then_body, into, func)
@@ -102,6 +106,10 @@ def analyze(unit: ast.TranslationUnit) -> ProgramEnv:
     for decl in unit.globals_:
         if decl.name in env.global_arrays:
             raise CompileError(f"duplicate global {decl.name!r}", decl.line)
+        if not decl.dims or any(d <= 0 for d in decl.dims):
+            raise CompileError(
+                f"array {decl.name!r} has non-positive dimension "
+                f"{decl.dims}", decl.line)
         env.global_arrays[decl.name] = decl
     for func in unit.functions:
         if func.name in env.signatures:

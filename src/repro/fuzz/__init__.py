@@ -1,0 +1,46 @@
+"""Differential fuzzing & conformance subsystem (``repro.fuzz``).
+
+Following the differential-testing tradition of Csmith (Yang et al.,
+PLDI 2011) and the reduction strategy of C-Reduce (Regehr et al.,
+PLDI 2012), this package turns the whole pipeline into its own test
+oracle:
+
+* :mod:`repro.fuzz.generator` — a seeded, grammar-directed tinyc
+  program generator biased toward ambiguous pointer/array aliasing,
+  loops and if-convertible branches;
+* :mod:`repro.fuzz.oracle` — a differential conformance oracle that
+  cross-checks the interpreter, every disambiguated view (all SpD
+  heuristic knob settings, every cleanup-pass sequence) and the
+  resource-constrained schedules on 1/2/4/8-unit machines, asserting
+  identical outputs and memory traces plus metamorphic timing
+  invariants;
+* :mod:`repro.fuzz.reduce` — a delta-debugging reducer that shrinks
+  any diverging program to a minimal reproducer.
+
+The ``repro fuzz`` CLI subcommand drives a campaign end to end; see
+``docs/fuzzing.md``.
+"""
+
+from .campaign import CampaignResult, DivergenceRecord, run_campaign
+from .generator import (GeneratorConfig, ProgramGenerator, generate_program,
+                        program_seed)
+from .oracle import (ConformanceReport, Divergence, OracleConfig,
+                     check_source, make_divergence_predicate)
+from .reduce import ReductionResult, reduce_source
+
+__all__ = [
+    "CampaignResult",
+    "DivergenceRecord",
+    "run_campaign",
+    "GeneratorConfig",
+    "ProgramGenerator",
+    "generate_program",
+    "program_seed",
+    "OracleConfig",
+    "Divergence",
+    "ConformanceReport",
+    "check_source",
+    "make_divergence_predicate",
+    "ReductionResult",
+    "reduce_source",
+]

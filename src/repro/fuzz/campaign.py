@@ -1,0 +1,199 @@
+"""Fuzzing campaign driver: generate, check, reduce, archive.
+
+One campaign runs ``iterations`` generated programs (or until an
+optional wall-clock budget expires) through the differential oracle;
+every diverging program is shrunk by the delta-debugging reducer and
+written to the corpus directory as a self-describing ``.tc``
+reproducer whose header records everything needed to regenerate it
+(campaign seed, iteration, generator version, divergences).
+
+Determinism: iteration *i* of campaign seed *s* always fuzzes the
+program ``generate_program(program_seed(s, i))`` — there is no other
+randomness in the subsystem.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional
+
+from .. import obs
+from .generator import (GENERATOR_VERSION, GeneratorConfig,
+                        generate_program, program_seed)
+from .oracle import (ConformanceReport, OracleConfig, check_source,
+                     make_divergence_predicate)
+from .reduce import reduce_source
+
+__all__ = ["DivergenceRecord", "CampaignResult", "run_campaign"]
+
+
+@dataclass
+class DivergenceRecord:
+    """One diverging program, reduced and archived."""
+
+    iteration: int
+    seed: int
+    divergences: List[dict]
+    original_lines: int
+    reduced_lines: int
+    reduce_tests: int
+    corpus_path: Optional[str]
+    reduced_source: str
+
+    def to_dict(self) -> dict:
+        return {"iteration": self.iteration, "seed": self.seed,
+                "divergences": self.divergences,
+                "original_lines": self.original_lines,
+                "reduced_lines": self.reduced_lines,
+                "reduce_tests": self.reduce_tests,
+                "corpus_path": self.corpus_path}
+
+
+@dataclass
+class CampaignResult:
+    """Summary of one fuzzing campaign."""
+
+    seed: int
+    iterations_requested: int
+    programs_generated: int = 0
+    views_checked: int = 0
+    executions: int = 0
+    timings_checked: int = 0
+    generator_errors: List[str] = field(default_factory=list)
+    divergent: List[DivergenceRecord] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergent
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed,
+                "iterations_requested": self.iterations_requested,
+                "programs_generated": self.programs_generated,
+                "views_checked": self.views_checked,
+                "executions": self.executions,
+                "timings_checked": self.timings_checked,
+                "generator_errors": self.generator_errors,
+                "divergent_programs": len(self.divergent),
+                "divergent": [d.to_dict() for d in self.divergent],
+                "elapsed_seconds": round(self.elapsed_seconds, 3)}
+
+
+def _corpus_entry(record: DivergenceRecord, campaign_seed: int) -> str:
+    """Render a reduced reproducer as a self-describing corpus file."""
+    header = [
+        "// repro.fuzz reduced reproducer",
+        f"// campaign seed: {campaign_seed}  iteration: {record.iteration}"
+        f"  program seed: {record.seed}",
+        f"// generator version: {GENERATOR_VERSION}",
+        f"// reduction: {record.original_lines} -> {record.reduced_lines} "
+        f"lines in {record.reduce_tests} oracle runs",
+    ]
+    for div in record.divergences[:6]:
+        header.append(f"// divergence [{div['kind']}] at {div['stage']}: "
+                      f"{div['detail']}")
+    return "\n".join(header) + "\n" + record.reduced_source
+
+
+def run_campaign(seed: int = 0,
+                 iterations: int = 100,
+                 time_budget: Optional[float] = None,
+                 corpus_dir: Optional[str] = None,
+                 generator_config: GeneratorConfig = GeneratorConfig(),
+                 oracle_config: OracleConfig = OracleConfig(),
+                 reduce_divergences: bool = True,
+                 max_reduce_tests: int = 2000,
+                 progress: Optional[Callable[[str], None]] = None,
+                 ) -> CampaignResult:
+    """Run one differential fuzzing campaign."""
+    result = CampaignResult(seed=seed, iterations_requested=iterations)
+    start = time.monotonic()
+    notify = progress if progress is not None else (lambda _msg: None)
+    with obs.span("fuzz.campaign", seed=seed, iterations=iterations):
+        for iteration in range(iterations):
+            if (time_budget is not None
+                    and time.monotonic() - start > time_budget):
+                notify(f"time budget exhausted after "
+                       f"{result.programs_generated} programs")
+                break
+            pseed = program_seed(seed, iteration)
+            with obs.span("fuzz.iteration", iteration=iteration):
+                source = generate_program(pseed, generator_config)
+                result.programs_generated += 1
+                obs.incr("fuzz.programs_generated")
+                report = check_source(source, oracle_config)
+            result.views_checked += report.views_checked
+            result.executions += report.executions
+            result.timings_checked += report.timings_checked
+            if report.error is not None:
+                result.generator_errors.append(
+                    f"iteration {iteration} (seed {pseed}): {report.error}")
+                obs.incr("fuzz.generator_errors")
+                continue
+            if report.ok:
+                continue
+            obs.incr("fuzz.divergent_programs")
+            record = _handle_divergence(
+                iteration, pseed, source, report, oracle_config,
+                reduce_divergences, max_reduce_tests)
+            result.divergent.append(record)
+            if corpus_dir is not None:
+                directory = Path(corpus_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                path = directory / f"seed{seed}_iter{iteration}.tc"
+                path.write_text(_corpus_entry(record, seed))
+                record.corpus_path = str(path)
+            notify(f"iteration {iteration}: DIVERGENCE "
+                   f"({record.divergences[0]['kind']} at "
+                   f"{record.divergences[0]['stage']}), reduced "
+                   f"{record.original_lines} -> {record.reduced_lines} "
+                   f"lines")
+    result.elapsed_seconds = time.monotonic() - start
+    return result
+
+
+def _reduction_config(config: OracleConfig, source: str) -> OracleConfig:
+    """Pick the cheapest oracle configuration that still reproduces a
+    divergence on *source*.
+
+    Delta debugging calls the oracle hundreds of times, so one extra
+    probe run here buys a large speedup: most pipeline bugs already
+    show up on the pass-free views without the grafted variant or the
+    finite-machine schedule sweep.  When the divergence only manifests
+    under the full configuration (e.g. a graft-only or scheduler-only
+    bug), fall back to it.
+    """
+    fast = dataclasses.replace(config, check_grafted=False,
+                               sweep_sequences=(),
+                               cleanup_sequences=((),))
+    if make_divergence_predicate(fast)(source):
+        return fast
+    return config
+
+
+def _handle_divergence(iteration: int, pseed: int, source: str,
+                       report: ConformanceReport,
+                       oracle_config: OracleConfig,
+                       reduce_divergences: bool,
+                       max_reduce_tests: int) -> DivergenceRecord:
+    original_lines = len([ln for ln in source.splitlines() if ln.strip()])
+    reduced, reduce_tests, reduced_lines = source, 0, original_lines
+    if reduce_divergences:
+        reduction = reduce_source(
+            source,
+            make_divergence_predicate(
+                _reduction_config(oracle_config, source)),
+            max_tests=max_reduce_tests)
+        reduced = reduction.source
+        reduce_tests = reduction.tests
+        reduced_lines = reduction.final_lines
+    return DivergenceRecord(
+        iteration=iteration, seed=pseed,
+        divergences=[d.to_dict() for d in report.divergences],
+        original_lines=original_lines, reduced_lines=reduced_lines,
+        reduce_tests=reduce_tests, corpus_path=None,
+        reduced_source=reduced)

@@ -1,0 +1,434 @@
+"""Seeded, grammar-directed tinyc program generator.
+
+Emits well-typed, terminating tinyc programs biased toward the code
+shapes speculative disambiguation cares about: ambiguous array
+aliasing (computed subscripts, arrays hidden behind procedure
+boundaries), loops with cross-iteration store/load pairs, and
+if-convertible branches.  Every program is safe by construction so the
+oracle never sees a spurious runtime fault:
+
+* every subscript is wrapped as ``((e % N + N) % N)`` for the
+  power-of-two array size ``N`` (always in bounds),
+* integer division and modulo only ever divide by non-zero constants,
+* every loop has a small constant bound and its induction variable is
+  never reassigned in the body,
+* helper functions are non-recursive.
+
+Determinism contract: all randomness flows through one
+``random.Random`` instance owned by the generator — no hidden global
+``random`` state — so a given ``(seed, config)`` always yields the
+same program text, and a campaign's program *i* is reproducible from
+``(campaign_seed, i)`` alone (see :func:`program_seed`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["GeneratorConfig", "ProgramGenerator", "generate_program",
+           "program_seed"]
+
+#: Grammar/version tag recorded in corpus entries: bump when the
+#: generator's output for a given seed changes.
+GENERATOR_VERSION = 1
+
+
+def program_seed(campaign_seed: int, iteration: int) -> int:
+    """The per-program seed of campaign iteration *iteration*.
+
+    A fixed affine mix keeps neighbouring iterations decorrelated while
+    staying reproducible from the two integers alone (documented in
+    docs/fuzzing.md so any corpus entry can be regenerated).
+    """
+    return campaign_seed * 1_000_003 + iteration
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Size and feature budget of one generated program."""
+
+    array_size: int = 16        #: power-of-two length of the 1-D arrays
+    matrix_size: int = 4        #: side of the optional 2-D array
+    num_scalars: int = 4        #: int scalars x0..x{n-1} in main
+    max_toplevel_stmts: int = 7
+    max_block_stmts: int = 3
+    max_depth: int = 2          #: nesting budget for if/for/while
+    max_expr_depth: int = 2
+    loop_bound_max: int = 6
+    enable_floats: bool = True
+    enable_calls: bool = True   #: helper functions (hidden aliasing)
+    enable_while: bool = True
+    enable_matrix: bool = True  #: 2-D global array statements
+    #: probability that a statement draw is memory-flavoured (stores,
+    #: loads, aliasing loops) rather than scalar control/arithmetic
+    alias_bias: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.array_size & (self.array_size - 1):
+            raise ValueError("array_size must be a power of two")
+        if self.num_scalars < 1:
+            raise ValueError("num_scalars must be >= 1")
+
+
+class ProgramGenerator:
+    """Grammar-directed generator; one instance per program."""
+
+    def __init__(self, seed: int = 0,
+                 config: GeneratorConfig = GeneratorConfig(),
+                 rng: Optional[random.Random] = None):
+        self.config = config
+        self.rng = rng if rng is not None else random.Random(seed)
+        self._counter = 0  # unique suffix for loop/temp variable names
+
+    # -- small helpers -------------------------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def _idx(self, expr: str, size: Optional[int] = None) -> str:
+        n = size if size is not None else self.config.array_size
+        return f"(({expr}) % {n} + {n}) % {n}"
+
+    # -- expressions ---------------------------------------------------------
+
+    def _int_expr(self, vars_: List[str], depth: int = 0) -> str:
+        rng = self.rng
+        leaf = depth >= self.config.max_expr_depth
+        choice = rng.randint(0, 1 if leaf else 6)
+        if choice == 0:
+            return str(rng.randint(-9, 9))
+        if choice == 1:
+            return rng.choice(vars_)
+        left = self._int_expr(vars_, depth + 1)
+        right = self._int_expr(vars_, depth + 1)
+        if choice == 2:
+            return f"({left} + {right})"
+        if choice == 3:
+            return f"({left} - {right})"
+        if choice == 4:
+            return f"({left} * {rng.randint(2, 3)})"
+        if choice == 5:  # constant divisor: can never fault
+            op = rng.choice(["/", "%"])
+            return f"({left} {op} {rng.randint(2, 4)})"
+        # an ambiguous load feeding address arithmetic (the "address
+        # read out of memory" shape of paper Section 2.1)
+        return f"ga[{self._idx(left)}]"
+
+    def _float_expr(self, vars_: List[str], fvars: List[str],
+                    depth: int = 0) -> str:
+        rng = self.rng
+        leaf = depth >= self.config.max_expr_depth
+        choice = rng.randint(0, 1 if leaf else 5)
+        if choice == 0:
+            return f"{rng.randint(0, 7)}.{rng.randint(0, 9)}"
+        if choice == 1:
+            return rng.choice(fvars) if fvars else "0.5"
+        if choice == 2:
+            return f"gf[{self._idx(self._int_expr(vars_, depth + 1))}]"
+        left = self._float_expr(vars_, fvars, depth + 1)
+        if choice == 3:
+            right = self._float_expr(vars_, fvars, depth + 1)
+            op = rng.choice(["+", "-", "*"])
+            return f"({left} {op} {right})"
+        if choice == 4:
+            return f"({left} / {rng.randint(2, 4)}.0)"
+        return f"sqrt(fabs({left}))"
+
+    def _condition(self, vars_: List[str]) -> str:
+        rng = self.rng
+        op = rng.choice(["<", "<=", ">", ">=", "==", "!="])
+        cond = (f"({self._int_expr(vars_, 1)}) {op} "
+                f"({self._int_expr(vars_, 1)})")
+        if rng.random() < 0.2:  # no short-circuit in tinyc: safe
+            other = self._condition_simple(vars_)
+            cond = f"({cond}) {rng.choice(['&&', '||'])} ({other})"
+        return cond
+
+    def _condition_simple(self, vars_: List[str]) -> str:
+        op = self.rng.choice(["<", ">", "=="])
+        return (f"({self._int_expr(vars_, 2)}) {op} "
+                f"({self._int_expr(vars_, 2)})")
+
+    # -- statements ----------------------------------------------------------
+
+    def _statement(self, vars_: List[str], fvars: List[str],
+                   depth: int) -> List[str]:
+        rng = self.rng
+        cfg = self.config
+        memory_flavoured = rng.random() < cfg.alias_bias
+        if memory_flavoured:
+            kinds = ["store", "load", "pair", "alias_loop",
+                     "guarded_store", "guarded_pair", "spd_diamond"]
+            if cfg.enable_calls:
+                kinds.append("call")
+            if cfg.enable_floats:
+                kinds.append("float_mem")
+            if cfg.enable_matrix:
+                kinds.append("matrix")
+        else:
+            kinds = ["assign", "ifelse", "print"]
+            if depth < cfg.max_depth:
+                kinds += ["if_block", "for"]
+                if cfg.enable_while:
+                    kinds.append("while")
+            if cfg.enable_calls:
+                kinds.append("call_value")
+            if cfg.enable_floats:
+                kinds.append("float_assign")
+        kind = rng.choice(kinds)
+        make = getattr(self, f"_stmt_{kind}")
+        return make(vars_, fvars, depth)
+
+    def _stmt_assign(self, vars_, fvars, depth) -> List[str]:
+        var = self.rng.choice(vars_[:self.config.num_scalars])
+        return [f"{var} = {self._int_expr(vars_)};"]
+
+    def _stmt_store(self, vars_, fvars, depth) -> List[str]:
+        idx = self._idx(self._int_expr(vars_, 1))
+        arr = self.rng.choice(["ga", "gb"])
+        return [f"{arr}[{idx}] = {self._int_expr(vars_)};"]
+
+    def _stmt_load(self, vars_, fvars, depth) -> List[str]:
+        var = self.rng.choice(vars_[:self.config.num_scalars])
+        arr = self.rng.choice(["ga", "gb"])
+        return [f"{var} = {arr}[{self._idx(self._int_expr(vars_, 1))}];"]
+
+    def _stmt_pair(self, vars_, fvars, depth) -> List[str]:
+        # adjacent ambiguous store/load: the canonical SpD candidate
+        var = self.rng.choice(vars_[:self.config.num_scalars])
+        idx_store = self._idx(self._int_expr(vars_, 1))
+        idx_load = self._idx(self._int_expr(vars_, 1))
+        return [f"ga[{idx_store}] = {var} + 1;",
+                f"{var} = ga[{idx_load}] * 2;"]
+
+    def _stmt_alias_loop(self, vars_, fvars, depth) -> List[str]:
+        # cross-iteration ambiguity: ga[a*i+b] = f(ga[c*i+d]); in half
+        # the draws the store is conditional, so the loop tree carries
+        # a *guarded* store ahead of an ambiguous load — the shape that
+        # exercises SpD's commit-condition (guard conjunction) logic
+        rng = self.rng
+        loop = self._fresh("i")
+        bound = rng.randint(2, self.config.loop_bound_max)
+        a, b = rng.randint(1, 3), rng.randint(0, 7)
+        c, d = rng.randint(1, 3), rng.randint(0, 7)
+        dst = self._idx(f"{loop} * {a} + {b}")
+        src = self._idx(f"{loop} * {c} + {d}")
+        store = f"ga[{dst}] = ga[{src}] + {self._int_expr(vars_, 2)};"
+        if rng.random() < 0.5:
+            body = [f"if ({self._condition(vars_ + [loop])}) {{",
+                    store, "}"]
+        else:
+            body = [store]
+        if rng.random() < 0.5:
+            var = rng.choice(vars_[:self.config.num_scalars])
+            body.append(f"{var} = {var} + ga[{self._idx(loop)}];")
+        return ([f"for (int {loop} = 0; {loop} < {bound}; "
+                 f"{loop} = {loop} + 1) {{"]
+                + body + ["}"])
+
+    def _stmt_guarded_pair(self, vars_, fvars, depth) -> List[str]:
+        # straight-line guarded store followed by an ambiguous load:
+        # if-converted into one tree, the load's RAW arc against a
+        # *guarded* store is exactly what SpD's guard combiner handles
+        rng = self.rng
+        var = rng.choice(vars_[:self.config.num_scalars])
+        idx_store = self._idx(self._int_expr(vars_, 1))
+        idx_load = self._idx(self._int_expr(vars_, 1))
+        return [f"if ({self._condition(vars_)}) {{",
+                f"ga[{idx_store}] = {self._int_expr(vars_)};",
+                "}",
+                f"{var} = ga[{idx_load}] + {rng.randint(1, 5)};"]
+
+    def _stmt_spd_diamond(self, vars_, fvars, depth) -> List[str]:
+        # loop-carried if/else diamond: the then-branch stores through
+        # a scalar-derived (statically opaque) subscript, the
+        # else-branch accumulates an ambiguous load into a live scalar.
+        # If-converted into one tree this pins a *guarded* store above
+        # a speculated load, so the RAW commit condition must conjoin
+        # the store guard with the address compare; the accumulating
+        # consumer makes any mis-forwarded value stick until the dump.
+        rng = self.rng
+        loop = self._fresh("i")
+        bound = rng.randint(4, max(4, self.config.loop_bound_max))
+        var = rng.choice(vars_[:self.config.num_scalars])
+        arr = rng.choice(["ga", "gb"])
+        store_idx = self._idx(self._int_expr(vars_, 1))
+        load_src = rng.choice([loop, f"{loop} + {rng.randint(0, 3)}"])
+        cmp_op = rng.choice(["<", ">", "=="])
+        return [
+            f"for (int {loop} = 0; {loop} < {bound}; "
+            f"{loop} = {loop} + 1) {{",
+            f"if ({var} {cmp_op} {rng.randint(-2, 9)}) {{",
+            f"{arr}[{store_idx}] = {rng.randint(2, 9)};",
+            "} else {",
+            f"{var} = {arr}[{self._idx(load_src)}] + {var} + "
+            f"{rng.randint(1, 3)};",
+            "}",
+            "}",
+        ]
+
+    def _stmt_guarded_store(self, vars_, fvars, depth) -> List[str]:
+        # if-convertible guarded store (lowered to a guarded STORE op)
+        idx = self._idx(self._int_expr(vars_, 1))
+        return [f"if ({self._condition(vars_)}) {{",
+                f"ga[{idx}] = {self._int_expr(vars_)};",
+                "}"]
+
+    def _stmt_ifelse(self, vars_, fvars, depth) -> List[str]:
+        # if-convertible diamond over scalars
+        var = self.rng.choice(vars_[:self.config.num_scalars])
+        return [f"if ({self._condition(vars_)}) {{",
+                f"{var} = {self._int_expr(vars_)};",
+                "} else {",
+                f"{var} = {self._int_expr(vars_)};",
+                "}"]
+
+    def _stmt_if_block(self, vars_, fvars, depth) -> List[str]:
+        lines = [f"if ({self._condition(vars_)}) {{"]
+        lines += self._block(vars_, fvars, depth + 1)
+        if self.rng.random() < 0.5:
+            lines.append("} else {")
+            lines += self._block(vars_, fvars, depth + 1)
+        lines.append("}")
+        return lines
+
+    def _stmt_for(self, vars_, fvars, depth) -> List[str]:
+        loop = self._fresh("i")
+        bound = self.rng.randint(1, self.config.loop_bound_max)
+        lines = [f"for (int {loop} = 0; {loop} < {bound}; "
+                 f"{loop} = {loop} + 1) {{"]
+        lines += self._block(vars_ + [loop], fvars, depth + 1)
+        lines.append("}")
+        return lines
+
+    def _stmt_while(self, vars_, fvars, depth) -> List[str]:
+        counter = self._fresh("w")
+        bound = self.rng.randint(1, self.config.loop_bound_max)
+        lines = [f"int {counter} = 0;",
+                 f"while ({counter} < {bound}) {{"]
+        # the counter is readable in the body but never a store target:
+        # it is not in the first num_scalars slots of vars_
+        lines += self._block(vars_ + [counter], fvars, depth + 1)
+        lines += [f"{counter} = {counter} + 1;", "}"]
+        return lines
+
+    def _stmt_print(self, vars_, fvars, depth) -> List[str]:
+        return [f"print({self._int_expr(vars_)});"]
+
+    def _stmt_call(self, vars_, fvars, depth) -> List[str]:
+        a = self._idx(self._int_expr(vars_, 1))
+        b = self._idx(self._int_expr(vars_, 1))
+        arr = self.rng.choice(["ga", "gb"])
+        return [f"touch({arr}, {a}, {b});"]
+
+    def _stmt_call_value(self, vars_, fvars, depth) -> List[str]:
+        var = self.rng.choice(vars_[:self.config.num_scalars])
+        return [f"{var} = mix({self._int_expr(vars_, 1)}, "
+                f"{self._int_expr(vars_, 1)});"]
+
+    def _stmt_float_mem(self, vars_, fvars, depth) -> List[str]:
+        idx = self._idx(self._int_expr(vars_, 1))
+        return [f"gf[{idx}] = {self._float_expr(vars_, fvars)};"]
+
+    def _stmt_float_assign(self, vars_, fvars, depth) -> List[str]:
+        if not fvars:
+            return self._stmt_assign(vars_, fvars, depth)
+        var = self.rng.choice(fvars)
+        # mixed arithmetic promotes to float (docs/tinyc.md)
+        return [f"{var} = {self._float_expr(vars_, fvars)} + "
+                f"{self.rng.choice(vars_)};"]
+
+    def _stmt_matrix(self, vars_, fvars, depth) -> List[str]:
+        n = self.config.matrix_size
+        r = self._idx(self._int_expr(vars_, 1), n)
+        c = self._idx(self._int_expr(vars_, 1), n)
+        if self.rng.random() < 0.5:
+            return [f"gm[{r}][{c}] = {self._int_expr(vars_)};"]
+        var = self.rng.choice(vars_[:self.config.num_scalars])
+        return [f"{var} = gm[{r}][{c}];"]
+
+    def _block(self, vars_: List[str], fvars: List[str],
+               depth: int) -> List[str]:
+        count = self.rng.randint(1, self.config.max_block_stmts)
+        lines: List[str] = []
+        for _ in range(count):
+            lines += self._statement(vars_, fvars, depth)
+        return lines
+
+    # -- whole program -------------------------------------------------------
+
+    def generate(self) -> str:
+        """Emit one complete tinyc program (one statement per line)."""
+        rng = self.rng
+        cfg = self.config
+        scalars = [f"x{i}" for i in range(cfg.num_scalars)]
+        fvars = ["f0", "f1"] if cfg.enable_floats else []
+
+        lines: List[str] = [
+            f"int ga[{cfg.array_size}];",
+            f"int gb[{cfg.array_size}];",
+        ]
+        if cfg.enable_floats:
+            lines.append(f"float gf[{cfg.array_size}];")
+        if cfg.enable_matrix:
+            lines.append(f"int gm[{cfg.matrix_size}][{cfg.matrix_size}];")
+        if cfg.enable_calls:
+            # arrays behind a procedure boundary: unknowable bases, the
+            # aliasing static disambiguation cannot see through
+            lines += [
+                "void touch(int arr[], int a, int b) {",
+                "arr[a] = arr[b] + 1;",
+                "}",
+                "int mix(int a, int b) {",
+                "return a * 2 - b;",
+                "}",
+            ]
+        lines.append("int main() {")
+        for name in scalars:
+            lines.append(f"int {name} = {rng.randint(-4, 4)};")
+        for name in fvars:
+            lines.append(f"float {name} = {rng.randint(0, 3)}.5;")
+        count = rng.randint(max(3, cfg.max_toplevel_stmts - 3),
+                            cfg.max_toplevel_stmts)
+        for _ in range(count):
+            lines += self._statement(list(scalars), list(fvars), 0)
+
+        # observability tail: dump every array cell and scalar so any
+        # wrong committed value becomes an output divergence
+        dump = self._fresh("d")
+        lines += [
+            f"int {dump};",
+            f"for ({dump} = 0; {dump} < {cfg.array_size}; "
+            f"{dump} = {dump} + 1) {{",
+            f"print(ga[{dump}]);",
+            f"print(gb[{dump}]);",
+        ]
+        if cfg.enable_floats:
+            lines.append(f"print(gf[{dump}]);")
+        lines.append("}")
+        if cfg.enable_matrix:
+            r, c = self._fresh("d"), self._fresh("d")
+            lines += [
+                f"int {r};",
+                f"int {c};",
+                f"for ({r} = 0; {r} < {cfg.matrix_size}; {r} = {r} + 1) {{",
+                f"for ({c} = 0; {c} < {cfg.matrix_size}; {c} = {c} + 1) {{",
+                f"print(gm[{r}][{c}]);",
+                "}",
+                "}",
+            ]
+        for name in scalars:
+            lines.append(f"print({name});")
+        for name in fvars:
+            lines.append(f"print({name});")
+        lines += [f"return {scalars[0]};", "}"]
+        return "\n".join(lines) + "\n"
+
+
+def generate_program(seed: int,
+                     config: GeneratorConfig = GeneratorConfig()) -> str:
+    """One-shot helper: the program for *seed* under *config*."""
+    return ProgramGenerator(seed=seed, config=config).generate()

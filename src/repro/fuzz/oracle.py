@@ -1,0 +1,380 @@
+"""Differential conformance oracle: every layer checks every other.
+
+One :func:`check_source` call cross-checks a single tinyc program
+through the whole pipeline:
+
+* the reference interpreter run (NAIVE semantics, profile collected),
+* the grafted (tail-duplicated) compilation, re-executed and compared
+  against the plain reference — grafting is where guarded stores and
+  ambiguous loads meet inside one tree, so the grafted variant is also
+  swept through the disambiguators to exercise SpD's guard-commit
+  (conjunction) logic,
+* every disambiguated view of both variants — all four
+  disambiguators, every SpD heuristic knob setting, every
+  cleanup-pass sequence — re-executed and compared against the
+  reference on **program output**, **return value**, **memory trace**
+  (per-address committed store sequences) and **final memory image**,
+* metamorphic timing invariants: no view is ever slower than NAIVE on
+  the infinite machine (SpD in particular never slows it — the paper's
+  promise, enforced by the heuristic's best-state restoration), and
+  every resource-constrained schedule on the 1/2/4/8-unit machines
+  costs at least the infinite-machine lower bound of its own view.
+
+Any violation is reported as a structured :class:`Divergence`; a
+failure of the *reference* run itself (a generator bug, not a pipeline
+bug) is reported separately via ``ConformanceReport.error``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .. import obs
+from ..disambig.pipeline import Disambiguator, disambiguate
+from ..disambig.spd_heuristic import SpDConfig
+from ..frontend.driver import compile_source
+from ..frontend.errors import CompileError
+from ..frontend.grafting import graft_program
+from ..machine.description import machine
+from ..passes import DEFAULT_CLEANUP, PassPipelineConfig
+from ..sim.evaluate import evaluate_program
+from ..sim.interpreter import Interpreter, InterpreterError
+
+__all__ = ["OracleConfig", "Divergence", "ConformanceReport",
+           "check_source", "make_divergence_predicate"]
+
+#: SpD knob grid: the paper's defaults, a tight budget (small
+#: MaxExpansion, high MinGain) and the profile-weighted ablation.
+_SPD_GRID: Tuple[SpDConfig, ...] = (
+    SpDConfig(),
+    SpDConfig(max_expansion=1.25, min_gain=2.0),
+    SpDConfig(alias_probability_weighting=True),
+)
+
+#: Every cleanup-pass sequence the oracle runs: none (the paper's
+#: toolchain), each cleanup alone, and the full default pipeline.
+_CLEANUP_GRID: Tuple[Tuple[str, ...], ...] = (
+    (),
+    ("constfold",),
+    ("copyprop",),
+    ("dce",),
+    DEFAULT_CLEANUP,
+)
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """What one conformance check sweeps over."""
+
+    memory_latency: int = 2
+    finite_fus: Tuple[int, ...] = (1, 2, 4, 8)
+    spd_configs: Tuple[SpDConfig, ...] = _SPD_GRID
+    cleanup_sequences: Tuple[Tuple[str, ...], ...] = _CLEANUP_GRID
+    #: the finite-machine schedule sweep runs only for these cleanup
+    #: sequences (cost control; the infinite-machine invariant and the
+    #: semantic re-execution still cover *every* sequence)
+    sweep_sequences: Tuple[Tuple[str, ...], ...] = ((), DEFAULT_CLEANUP)
+    #: also check the grafted (tail-duplicated) compilation — grafting
+    #: is what puts guarded stores and ambiguous loads into one tree
+    check_grafted: bool = True
+    #: cleanup grid for the grafted variant (kept small: the plain
+    #: variant already sweeps every sequence)
+    grafted_cleanup_sequences: Tuple[Tuple[str, ...], ...] = \
+        ((), DEFAULT_CLEANUP)
+    max_steps: int = 5_000_000
+
+
+@dataclass
+class Divergence:
+    """One observed conformance violation."""
+
+    stage: str   #: view label, e.g. ``spec[max_expansion=1.25]+dce``
+    kind: str    #: ``output`` | ``memory`` | ``return`` | ``invariant`` | ``crash``
+    detail: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"stage": self.stage, "kind": self.kind,
+                "detail": self.detail}
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of one differential check."""
+
+    divergences: List[Divergence] = field(default_factory=list)
+    views_checked: int = 0
+    executions: int = 0
+    timings_checked: int = 0
+    #: reference-run failure message (generator bug, not a divergence)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences and self.error is None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"ok": self.ok,
+                "views_checked": self.views_checked,
+                "executions": self.executions,
+                "timings_checked": self.timings_checked,
+                "error": self.error,
+                "divergences": [d.to_dict() for d in self.divergences]}
+
+
+def _values_equal(mine, theirs) -> bool:
+    if isinstance(mine, float) or isinstance(theirs, float):
+        return math.isclose(mine, theirs, rel_tol=1e-9, abs_tol=1e-12)
+    return mine == theirs
+
+
+def _per_address(trace: List[Tuple[int, object]]) -> Dict[int, List[object]]:
+    """Committed stores grouped by address, in commit order.
+
+    Per-address sequences are the sound memory-trace comparison: SpD's
+    guarded dual versions may legally reorder committed stores to
+    *different* addresses, but same-address stores carry true
+    dependences and must commit in the original order with the
+    original values.
+    """
+    grouped: Dict[int, List[object]] = {}
+    for addr, value in trace:
+        grouped.setdefault(addr, []).append(value)
+    return grouped
+
+
+def _view_label(kind: Disambiguator, spd: SpDConfig,
+                cleanup: Tuple[str, ...]) -> str:
+    label = kind.value
+    if kind is Disambiguator.SPEC and spd != SpDConfig():
+        knobs = []
+        if spd.max_expansion != SpDConfig.max_expansion:
+            knobs.append(f"max_expansion={spd.max_expansion}")
+        if spd.min_gain != SpDConfig.min_gain:
+            knobs.append(f"min_gain={spd.min_gain}")
+        if spd.alias_probability_weighting:
+            knobs.append("profiled_alias")
+        label += f"[{','.join(knobs)}]"
+    if cleanup:
+        label += "+" + ",".join(cleanup)
+    return label
+
+
+def _compare_execution(report: ConformanceReport, label: str,
+                       reference, ref_interp: Interpreter,
+                       view_program, max_steps: int,
+                       collect_profile: bool = False
+                       ) -> Optional[Tuple[object, Interpreter]]:
+    """Re-execute a transformed view and diff it against the reference.
+
+    Returns the (result, interpreter) pair when execution succeeded so
+    callers can reuse the run (the grafted variant needs its profile),
+    ``None`` on a crash divergence.
+    """
+    try:
+        interp = Interpreter(view_program, max_steps=max_steps,
+                             collect_profile=collect_profile,
+                             trace_stores=True)
+        result = interp.run()
+    except InterpreterError as exc:
+        report.divergences.append(Divergence(
+            label, "crash", f"transformed program failed: {exc}"))
+        return None
+    report.executions += 1
+    _diff_results(report, label, reference, ref_interp, result, interp)
+    return result, interp
+
+
+def _diff_results(report: ConformanceReport, label: str,
+                  reference, ref_interp: Interpreter,
+                  result, interp: Interpreter) -> None:
+    if not reference.output_equal(result):
+        report.divergences.append(Divergence(
+            label, "output",
+            f"output differs: reference {reference.output[:8]!r}... "
+            f"vs {result.output[:8]!r}..."))
+    ref_ret, got_ret = reference.return_value, result.return_value
+    if (ref_ret is None) != (got_ret is None) or (
+            ref_ret is not None and not _values_equal(ref_ret, got_ret)):
+        report.divergences.append(Divergence(
+            label, "return",
+            f"return value differs: {ref_ret!r} vs {got_ret!r}"))
+    ref_mem, got_mem = ref_interp.memory, interp.memory
+    if len(ref_mem) != len(got_mem) or any(
+            not _values_equal(a, b) for a, b in zip(ref_mem, got_mem)):
+        bad = [i for i, (a, b) in enumerate(zip(ref_mem, got_mem))
+               if not _values_equal(a, b)][:5]
+        report.divergences.append(Divergence(
+            label, "memory", f"final memory differs at addresses {bad}"))
+    ref_stores = _per_address(ref_interp.store_trace)
+    got_stores = _per_address(interp.store_trace)
+    if set(ref_stores) != set(got_stores):
+        only_ref = sorted(set(ref_stores) - set(got_stores))[:5]
+        only_got = sorted(set(got_stores) - set(ref_stores))[:5]
+        report.divergences.append(Divergence(
+            label, "memory",
+            f"store trace touches different addresses "
+            f"(only reference: {only_ref}, only view: {only_got})"))
+    else:
+        for addr in ref_stores:
+            mine, theirs = ref_stores[addr], got_stores[addr]
+            if len(mine) != len(theirs) or any(
+                    not _values_equal(a, b)
+                    for a, b in zip(mine, theirs)):
+                report.divergences.append(Divergence(
+                    label, "memory",
+                    f"store sequence to address {addr} differs: "
+                    f"{mine[:6]!r} vs {theirs[:6]!r}"))
+                break
+
+
+def check_source(source: str,
+                 config: OracleConfig = OracleConfig()) -> ConformanceReport:
+    """Differentially check one tinyc program across the pipeline."""
+    report = ConformanceReport()
+    with obs.span("fuzz.check"):
+        try:
+            program = compile_source(source)
+            ref_interp = Interpreter(program, max_steps=config.max_steps,
+                                     collect_profile=True,
+                                     trace_stores=True)
+            reference = ref_interp.run()
+        except (CompileError, InterpreterError, RecursionError) as exc:
+            report.error = f"{type(exc).__name__}: {exc}"
+            return report
+        except Exception as exc:  # pragma: no cover - frontend bug guard
+            # The reducer feeds arbitrary mutilated programs through this
+            # path; a non-CompileError crash is a frontend robustness bug
+            # but must not abort the campaign (see satellite tests in
+            # tests/fuzz/test_frontend_errors.py).
+            report.error = f"frontend crash {type(exc).__name__}: {exc}"
+            return report
+
+        variants = [("", program, reference, ref_interp,
+                     config.cleanup_sequences)]
+        if config.check_grafted:
+            try:
+                grafted, _stats = graft_program(program)
+            except Exception as exc:
+                report.divergences.append(Divergence(
+                    "graft", "crash",
+                    f"graft_program failed: {type(exc).__name__}: {exc}"))
+            else:
+                # grafting itself is a transform under test: diff its
+                # execution against the plain reference, then sweep its
+                # views against its own profile (tree names differ)
+                executed = _compare_execution(
+                    report, "graft", reference, ref_interp, grafted,
+                    config.max_steps, collect_profile=True)
+                if executed is not None:
+                    graft_ref, graft_interp = executed
+                    variants.append(("graft:", grafted, graft_ref,
+                                     graft_interp,
+                                     config.grafted_cleanup_sequences))
+
+        for (prefix, variant_program, variant_ref, variant_interp,
+             cleanup_grid) in variants:
+            _check_views(report, config, prefix, variant_program,
+                         variant_ref, variant_interp, cleanup_grid)
+        if report.divergences:
+            obs.incr("fuzz.divergences", len(report.divergences))
+    return report
+
+
+def _check_views(report: ConformanceReport, config: OracleConfig,
+                 prefix: str, program, reference,
+                 ref_interp: Interpreter,
+                 cleanup_grid: Tuple[Tuple[str, ...], ...]) -> None:
+    """Sweep one compiled variant through every disambiguated view."""
+    profile = reference.profile
+    infinite = machine(None, config.memory_latency)
+    naive_infinite_cycles: Optional[int] = None
+
+    for kind in Disambiguator:
+        spd_grid = (config.spd_configs
+                    if kind is Disambiguator.SPEC else (SpDConfig(),))
+        for spd_cfg in spd_grid:
+            for cleanup in cleanup_grid:
+                label = prefix + _view_label(kind, spd_cfg, cleanup)
+                try:
+                    view = disambiguate(
+                        program, kind, profile=profile,
+                        machine=infinite, spd_config=spd_cfg,
+                        passes=PassPipelineConfig(cleanup=cleanup))
+                except Exception as exc:  # any crash is a finding
+                    report.divergences.append(Divergence(
+                        label, "crash",
+                        f"disambiguate failed: "
+                        f"{type(exc).__name__}: {exc}"))
+                    continue
+                report.views_checked += 1
+                obs.incr("fuzz.views_checked")
+
+                # semantic conformance: pass-free views alias the
+                # reference program object, nothing to re-run
+                if view.program is not program:
+                    _compare_execution(report, label, reference,
+                                       ref_interp, view.program,
+                                       config.max_steps)
+
+                # metamorphic timing invariants
+                try:
+                    inf_timing = evaluate_program(
+                        view.program, view.graphs, infinite, profile)
+                except Exception as exc:
+                    report.divergences.append(Divergence(
+                        label, "crash",
+                        f"infinite-machine timing failed: "
+                        f"{type(exc).__name__}: {exc}"))
+                    continue
+                report.timings_checked += 1
+                if (kind is Disambiguator.NAIVE and not cleanup
+                        and naive_infinite_cycles is None):
+                    naive_infinite_cycles = inf_timing.cycles
+                if (naive_infinite_cycles is not None
+                        and inf_timing.cycles > naive_infinite_cycles):
+                    report.divergences.append(Divergence(
+                        label, "invariant",
+                        f"slower than NAIVE on the infinite machine: "
+                        f"{inf_timing.cycles} > "
+                        f"{naive_infinite_cycles} cycles"))
+
+                if cleanup not in config.sweep_sequences:
+                    continue
+                if (kind is not Disambiguator.SPEC
+                        and spd_cfg != SpDConfig()):
+                    continue
+                for fus in config.finite_fus:
+                    mach = machine(fus, config.memory_latency)
+                    try:
+                        timing = evaluate_program(
+                            view.program, view.graphs, mach, profile)
+                    except Exception as exc:
+                        report.divergences.append(Divergence(
+                            label, "crash",
+                            f"schedule on {mach.name} failed: "
+                            f"{type(exc).__name__}: {exc}"))
+                        break
+                    report.timings_checked += 1
+                    if timing.cycles < inf_timing.cycles:
+                        report.divergences.append(Divergence(
+                            label, "invariant",
+                            f"{mach.name} schedule beats the "
+                            f"infinite-machine lower bound: "
+                            f"{timing.cycles} < {inf_timing.cycles}"))
+
+
+def make_divergence_predicate(
+        config: OracleConfig = OracleConfig()) -> Callable[[str], bool]:
+    """An interestingness test for the reducer.
+
+    True iff the candidate still compiles, its reference run still
+    succeeds, and the pipeline still diverges on it.  Candidates that
+    fail to compile or whose reference run faults are *not*
+    interesting (they left tinyc, they did not expose a pipeline bug).
+    """
+    def predicate(source: str) -> bool:
+        report = check_source(source, config)
+        return report.error is None and bool(report.divergences)
+    return predicate

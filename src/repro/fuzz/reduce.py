@@ -1,0 +1,211 @@
+"""Delta-debugging reducer: shrink a diverging program to a minimal form.
+
+C-Reduce-style but tinyc-sized.  The reducer works on the program's
+lines (the generator emits one statement per line) with a structural
+twist: lines are first grouped into *units* — a single statement, or a
+brace-balanced block together with its header — so removal candidates
+never split a block.  Three deterministic phases iterate to fixpoint:
+
+1. **unit deletion**, largest-first with ddmin-style chunking (delete
+   runs of adjacent units before single units);
+2. **block unwrapping** — replace ``if (...) { body }`` / loop headers
+   with the bare body;
+3. **expression simplification** — replace parenthesised
+   subexpressions and integer literals with ``0`` / ``1``.
+
+Every candidate is accepted only if the caller's *predicate* (normally
+:func:`repro.fuzz.oracle.make_divergence_predicate`) still holds, so
+syntactically broken candidates are simply rejected.  The whole
+process is deterministic: same input + same predicate -> same minimal
+form, which is what lets regression corpora be pinned under
+``tests/fuzz/corpus/``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from .. import obs
+
+__all__ = ["ReductionResult", "reduce_source"]
+
+Predicate = Callable[[str], bool]
+
+_INT_LITERAL = re.compile(r"(?<![\w.])\d+(?![\w.])")
+
+
+@dataclass
+class ReductionResult:
+    """Outcome of one reduction."""
+
+    source: str          #: the minimal diverging program
+    initial_lines: int
+    final_lines: int
+    tests: int           #: predicate evaluations spent
+    rounds: int          #: phase sweeps until fixpoint
+
+    @property
+    def reduced(self) -> bool:
+        return self.final_lines < self.initial_lines
+
+
+def _lines_of(source: str) -> List[str]:
+    return [line.strip() for line in source.splitlines() if line.strip()]
+
+
+def _depth_delta(line: str) -> int:
+    return line.count("{") - line.count("}")
+
+
+def _units(lines: List[str], start: int, end: int) -> List[Tuple[int, int]]:
+    """Brace-balanced spans covering ``lines[start:end]``."""
+    units: List[Tuple[int, int]] = []
+    i = start
+    while i < end:
+        depth = _depth_delta(lines[i])
+        j = i + 1
+        while depth > 0 and j < end:
+            depth += _depth_delta(lines[j])
+            j += 1
+        units.append((i, j))
+        i = j
+    return units
+
+
+def _all_units(lines: List[str]) -> List[Tuple[int, int]]:
+    """Every unit at every nesting level, outermost first."""
+    collected: List[Tuple[int, int]] = []
+    pending = _units(lines, 0, len(lines))
+    while pending:
+        span = pending.pop(0)
+        collected.append(span)
+        i, j = span
+        if j - i > 1:  # a block: recurse into its interior
+            pending.extend(_units(lines, i + 1, j - 1))
+    return collected
+
+
+class _Reducer:
+    def __init__(self, predicate: Predicate, max_tests: int):
+        self.predicate = predicate
+        self.max_tests = max_tests
+        self.tests = 0
+
+    def _holds(self, lines: List[str]) -> bool:
+        if self.tests >= self.max_tests:
+            return False
+        self.tests += 1
+        obs.incr("fuzz.reduce.tests")
+        return self.predicate("\n".join(lines) + "\n")
+
+    # -- phase 1: unit deletion ---------------------------------------------
+
+    def delete_units(self, lines: List[str]) -> Optional[List[str]]:
+        units = _all_units(lines)
+        # chunked first: try deleting runs of adjacent top-level units
+        top = _units(lines, 0, len(lines))
+        for chunk in (len(top) // 2, len(top) // 4):
+            if chunk < 2:
+                continue
+            for at in range(0, len(top) - chunk + 1):
+                lo, hi = top[at][0], top[at + chunk - 1][1]
+                candidate = lines[:lo] + lines[hi:]
+                if self._holds(candidate):
+                    return candidate
+        # then every single unit, largest first (ties: later first, so
+        # the observability tail goes before the interesting core)
+        for i, j in sorted(units, key=lambda s: (s[1] - s[0], s[0]),
+                           reverse=True):
+            candidate = lines[:i] + lines[j:]
+            if self._holds(candidate):
+                return candidate
+        return None
+
+    # -- phase 2: block unwrapping ------------------------------------------
+
+    def unwrap_blocks(self, lines: List[str]) -> Optional[List[str]]:
+        for i, j in _all_units(lines):
+            if j - i <= 1:
+                continue
+            interior = lines[i + 1:j - 1]
+            # drop the header line and the closing line; for
+            # `} else {` interiors this usually fails to compile and is
+            # simply rejected by the predicate
+            candidate = lines[:i] + interior + lines[j:]
+            if self._holds(candidate):
+                return candidate
+        return None
+
+    # -- phase 3: expression simplification ---------------------------------
+
+    def _paren_spans(self, line: str) -> List[Tuple[int, int]]:
+        spans: List[Tuple[int, int]] = []
+        stack: List[int] = []
+        for pos, char in enumerate(line):
+            if char == "(":
+                stack.append(pos)
+            elif char == ")" and stack:
+                spans.append((stack.pop(), pos + 1))
+        # widest first: one accepted rewrite can kill a whole tree
+        return sorted(spans, key=lambda s: s[1] - s[0], reverse=True)
+
+    def simplify_lines(self, lines: List[str]) -> Optional[List[str]]:
+        for index, line in enumerate(lines):
+            for lo, hi in self._paren_spans(line):
+                for replacement in ("0", "1"):
+                    if line[lo:hi] == replacement:
+                        continue
+                    rewritten = line[:lo] + replacement + line[hi:]
+                    candidate = (lines[:index] + [rewritten]
+                                 + lines[index + 1:])
+                    if self._holds(candidate):
+                        return candidate
+            for match in _INT_LITERAL.finditer(line):
+                for replacement in ("0", "1"):
+                    if match.group() == replacement:
+                        continue
+                    rewritten = (line[:match.start()] + replacement
+                                 + line[match.end():])
+                    candidate = (lines[:index] + [rewritten]
+                                 + lines[index + 1:])
+                    if self._holds(candidate):
+                        return candidate
+        return None
+
+
+def reduce_source(source: str, predicate: Predicate,
+                  max_tests: int = 4000) -> ReductionResult:
+    """Shrink *source* while *predicate* keeps holding.
+
+    *predicate* must hold on *source* itself (otherwise the input is
+    returned unchanged).  ``max_tests`` bounds the total number of
+    predicate evaluations across all phases.
+    """
+    lines = _lines_of(source)
+    initial = len(lines)
+    reducer = _Reducer(predicate, max_tests)
+    rounds = 0
+    with obs.span("fuzz.reduce") as span:
+        if not reducer._holds(lines):
+            span.annotate(outcome="predicate-does-not-hold")
+            return ReductionResult("\n".join(lines) + "\n", initial,
+                                   initial, reducer.tests, rounds)
+        changed = True
+        while changed and reducer.tests < max_tests:
+            changed = False
+            rounds += 1
+            for phase in (reducer.delete_units, reducer.unwrap_blocks,
+                          reducer.simplify_lines):
+                while reducer.tests < max_tests:
+                    result = phase(lines)
+                    if result is None:
+                        break
+                    lines = result
+                    changed = True
+        span.annotate(initial_lines=initial, final_lines=len(lines),
+                      tests=reducer.tests, rounds=rounds)
+        obs.incr("fuzz.reduce.runs")
+    return ReductionResult("\n".join(lines) + "\n", initial, len(lines),
+                           reducer.tests, rounds)

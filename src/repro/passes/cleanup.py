@@ -65,6 +65,10 @@ _NEVER_FOLDED = frozenset(
 #: Largest constant shift amount worth materialising.
 _MAX_SHIFT = 128
 
+#: Logical operations with algebraic identities under one constant
+#: operand (the interpreter normalises their results to 0/1).
+_LOGICAL_OPS = frozenset({Opcode.AND, Opcode.ANDN, Opcode.OR, Opcode.XOR})
+
 
 # ---------------------------------------------------------------------------
 # shared small analyses
@@ -119,12 +123,64 @@ def _mov_for(dest: Register) -> Opcode:
 # ---------------------------------------------------------------------------
 
 
+def _logical_identity(op: Operation) -> Optional[Operation]:
+    """Simplify a logical op with exactly one constant operand.
+
+    AND/ANDN/OR/XOR normalise their result to 0/1, so with one operand
+    known the op reduces to a constant, a NOT, or a copy of the other
+    operand.  The copy forms are only exact when the surviving operand
+    is itself 0/1-valued, i.e. a BOOL register; guard registers are
+    where these patterns arise (grafting and SpD conjoin reach
+    conditions with AND/ANDN, and constant folding of an address or
+    branch compare feeds a literal into them).  Leaving such ops
+    unfolded is not merely a missed win: a constant operand breaks the
+    complementary AND/ANDN shape that
+    :class:`~repro.ir.guard_analysis.GuardAnalysis` matches to prove the
+    two versions disjoint, and the dependence builder then serialises
+    them — cleanup would make the tree *slower* than the uncleaned one.
+    """
+    const_pos = [i for i, s in enumerate(op.srcs) if isinstance(s, Constant)]
+    if len(const_pos) != 1:
+        return None
+    truth = bool(op.srcs[const_pos[0]].value)
+    other = op.srcs[1 - const_pos[0]]
+
+    def to_const(value: int) -> Operation:
+        return dc_replace(op, opcode=Opcode.MOV, srcs=(Constant(value),))
+
+    def to_copy() -> Optional[Operation]:
+        if isinstance(other, Register) and other.type != BOOL:
+            return None  # copy would skip the 0/1 normalisation
+        return dc_replace(op, opcode=Opcode.MOV, srcs=(other,))
+
+    def to_not() -> Operation:
+        return dc_replace(op, opcode=Opcode.NOT, srcs=(other,))
+
+    if op.opcode is Opcode.AND:
+        return to_copy() if truth else to_const(0)
+    if op.opcode is Opcode.OR:
+        return to_const(1) if truth else to_copy()
+    if op.opcode is Opcode.XOR:
+        return to_not() if truth else to_copy()
+    if op.opcode is Opcode.ANDN:  # a AND NOT b
+        if const_pos[0] == 0:  # a constant
+            return to_not() if truth else to_const(0)
+        return to_const(0) if truth else to_copy()
+    return None
+
+
 def _fold_once(tree: DecisionTree) -> int:
     ops = tree.ops
     folded = 0
     for pos, op in enumerate(ops):
         if op.opcode in _NEVER_FOLDED:
             continue
+        if op.opcode in _LOGICAL_OPS:
+            simplified = _logical_identity(op)
+            if simplified is not None:
+                ops[pos] = simplified
+                folded += 1
+                continue
         if op.opcode is Opcode.SELECT:
             if not isinstance(op.srcs[0], Constant):
                 continue

@@ -141,7 +141,8 @@ class Interpreter:
     """Executes a program; optionally records a profile."""
 
     def __init__(self, program: Program, max_steps: int = 200_000_000,
-                 collect_profile: bool = True, strict_memory: bool = False):
+                 collect_profile: bool = True, strict_memory: bool = False,
+                 trace_stores: bool = False):
         if not program.layout and (program.globals_ or any(
                 f.local_arrays for f in program.functions.values())):
             program.layout_memory()
@@ -149,6 +150,11 @@ class Interpreter:
         self.max_steps = max_steps
         self.collect_profile = collect_profile
         self.strict_memory = strict_memory
+        #: when enabled, every committed (guard-true) store is appended
+        #: to ``store_trace`` as (address, value) — the memory trace the
+        #: conformance oracle compares across pipeline views
+        self.trace_stores = trace_stores
+        self.store_trace: List[Tuple[int, Number]] = []
         self.memory: List[Number] = [0] * program.memory_words
         self.output: List[Number] = []
         self.profile = ProfileData()
@@ -286,6 +292,8 @@ class Interpreter:
                 addr = self._read(regs, op.srcs[1])
                 self._check_addr(addr)
                 memory[addr] = value
+                if self.trace_stores:
+                    self.store_trace.append((addr, value))
                 if mem_trace is not None:
                     mem_trace.append((op.op_id, addr, True))
             elif opcode is Opcode.PRINT:

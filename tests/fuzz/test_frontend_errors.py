@@ -1,0 +1,62 @@
+"""Frontend error-path tests: malformed programs must raise structured
+:class:`~repro.frontend.errors.CompileError`, never crash.
+
+The reducer feeds arbitrarily mutilated programs through
+``compile_source``; any other exception type escaping the frontend
+aborts a whole fuzzing campaign (see the guard in
+``repro.fuzz.oracle.check_source``).
+"""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.frontend.errors import CompileError
+
+MALFORMED = {
+    "unclosed_function": "int main() { int x = 1;",
+    "unclosed_block": "int main() { if (1 > 0) { print(1); return 0; }",
+    "unclosed_paren": "int main() { print((1 + 2); return 0; }",
+    "missing_semicolon": "int main() { int x = 1 return x; }",
+    "empty_condition": "int main() { if () { print(1); } return 0; }",
+    "dangling_operator": "int main() { int x = 1 + ; return x; }",
+    "bad_guard_expression": "int main() { if (1 >) { print(1); } return 0; }",
+    "garbage_tokens": "int main() { @#$%^&; return 0; }",
+    "stray_else": "int main() { else { print(1); } return 0; }",
+    "unknown_function": "int main() { frob(3); return 0; }",
+    "duplicate_global": "int a[4];\nint a[4];\nint main() { return 0; }",
+    "no_main": "int helper() { return 1; }",
+    "zero_size_array": "int ga[0];\nint main() { return 0; }",
+    "negative_size_array": "int ga[-2];\nint main() { return 0; }",
+    "zero_size_local_array": "int main() { int b[0]; return 0; }",
+    "zero_size_matrix": "int gm[4][0];\nint main() { return 0; }",
+}
+
+
+@pytest.mark.parametrize("source", MALFORMED.values(),
+                         ids=MALFORMED.keys())
+def test_malformed_raises_compile_error(source):
+    with pytest.raises(CompileError):
+        compile_source(source)
+
+
+def test_error_carries_location():
+    try:
+        compile_source("int main() {\nint x = ;\nreturn 0;\n}")
+    except CompileError as exc:
+        assert exc.line >= 1
+    else:  # pragma: no cover
+        pytest.fail("expected CompileError")
+
+
+def test_reducer_mutilations_never_crash():
+    """Chop a valid program at every line boundary: each prefix either
+    compiles or raises CompileError."""
+    from repro.fuzz import generate_program
+
+    lines = generate_program(0).splitlines()
+    for cut in range(1, len(lines)):
+        source = "\n".join(lines[:cut]) + "\n"
+        try:
+            compile_source(source)
+        except CompileError:
+            pass

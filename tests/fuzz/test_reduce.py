@@ -1,0 +1,103 @@
+"""Tests for the delta-debugging reducer."""
+
+from pathlib import Path
+
+from repro.frontend import compile_source
+from repro.frontend.errors import CompileError
+from repro.fuzz import generate_program, reduce_source
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+def _compiles(source: str) -> bool:
+    try:
+        compile_source(source)
+    except (CompileError, Exception):
+        return False
+    return True
+
+
+class TestSyntheticPredicates:
+    def test_keeps_only_the_marker(self):
+        source = "\n".join([
+            "int ga[8];",
+            "int main() {",
+            "int x = 1;",
+            "ga[3] = 7;",
+            "x = x + 2;",
+            "print(x);",
+            "return 0;",
+            "}",
+        ]) + "\n"
+        result = reduce_source(source, lambda s: "ga[3] = 7;" in s)
+        assert "ga[3] = 7;" in result.source
+        assert result.final_lines == 1
+        assert result.reduced
+
+    def test_blocks_never_split(self):
+        """Unit deletion removes brace-balanced spans, so intermediate
+        candidates (and the result) keep braces balanced."""
+        seen = []
+
+        def predicate(s: str) -> bool:
+            seen.append(s)
+            return "ga[" in s
+
+        result = reduce_source(generate_program(0), predicate)
+        for candidate in seen:
+            assert candidate.count("{") == candidate.count("}")
+        assert "ga[" in result.source
+
+    def test_fixpoint_is_stable(self):
+        """Re-reducing the minimal form must change nothing — this is
+        what makes pinned corpus entries reproducible."""
+        predicate = lambda s: "print(" in s
+        first = reduce_source(generate_program(3), predicate)
+        second = reduce_source(first.source, predicate)
+        assert second.source == first.source
+        assert not second.reduced
+
+    def test_predicate_must_hold_on_input(self):
+        result = reduce_source("int main() { return 0; }\n",
+                               lambda s: "nonexistent" in s)
+        assert result.final_lines == result.initial_lines
+        assert result.tests == 1
+
+    def test_max_tests_bounds_predicate_calls(self):
+        calls = []
+
+        def predicate(s: str) -> bool:
+            calls.append(s)
+            return "main" in s
+
+        reduce_source(generate_program(1), predicate, max_tests=25)
+        assert len(calls) <= 25
+
+
+class TestCompilingPredicates:
+    def test_reduced_form_still_compiles(self):
+        """With compilation folded into the predicate, the minimal form
+        is a well-formed tinyc program containing the feature of
+        interest — the shape every corpus entry has."""
+        source = generate_program(2)
+        assert _compiles(source)
+        predicate = lambda s: _compiles(s) and "ga[" in s
+        result = reduce_source(source, predicate, max_tests=600)
+        assert _compiles(result.source)
+        assert "ga[" in result.source
+        assert result.final_lines < result.initial_lines
+
+    def test_pinned_corpus_is_minimal_under_its_shape(self):
+        """The pinned reproducers are fixpoints of a structural
+        predicate: nothing can be deleted without losing the guarded
+        store/load diamond they exist to pin."""
+        entry = CORPUS.joinpath("guard_commit_raw_a.tc").read_text()
+
+        def has_diamond(s: str) -> bool:
+            return (_compiles(s) and "if (" in s and "} else {" in s
+                    and "for (" in s)
+
+        result = reduce_source(entry, has_diamond, max_tests=600)
+        stripped = [ln for ln in entry.splitlines()
+                    if ln.strip() and not ln.startswith("//")]
+        assert result.final_lines <= len(stripped)

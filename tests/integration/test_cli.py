@@ -219,3 +219,33 @@ class TestSchedule:
 
     def test_schedule_rejects_infinite(self, demo_source, capsys):
         assert main(["schedule", demo_source, "--fus", "0"]) == 2
+
+
+class TestFuzz:
+    def test_small_clean_campaign(self, capsys, tmp_path):
+        corpus = tmp_path / "corpus"
+        assert main(["fuzz", "--seed", "0", "--iterations", "2",
+                     "--corpus", str(corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "2 programs" in out
+        assert "0 divergent" in out
+        assert not corpus.exists()  # only created on a divergence
+
+    def test_json_export(self, capsys, tmp_path):
+        out_path = tmp_path / "fuzz.json"
+        corpus = tmp_path / "corpus"
+        assert main(["fuzz", "--seed", "1", "--iterations", "2",
+                     "--corpus", str(corpus), "--json", str(out_path)]) == 0
+        data = json.loads(out_path.read_text())
+        assert data["schema"] == "repro.fuzz/1"
+        assert data["seed"] == 1
+        assert data["programs_generated"] == 2
+        assert data["divergent_programs"] == 0
+        assert data["metrics"]["counters"]["fuzz.programs_generated"] == 2
+
+    def test_time_budget_cuts_campaign_short(self, capsys, tmp_path):
+        assert main(["fuzz", "--seed", "0", "--iterations", "500",
+                     "--corpus", str(tmp_path / "corpus"),
+                     "--time-budget", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "time budget exhausted" in out

@@ -113,6 +113,104 @@ class TestConstantFolding:
         assert folded.guard == original.guard
 
 
+class TestLogicalIdentities:
+    """AND/ANDN/OR/XOR with one constant operand (found by repro.fuzz:
+    an unfolded `and %g, #0` breaks the complementary AND/ANDN shape
+    GuardAnalysis proves disjointness from, so cleanup used to make
+    grafted trees *slower* — see tests/fuzz/corpus/)."""
+
+    def _flag_program(self, opcode, operands):
+        def build(b):
+            flag = Register("v.f", BOOL)  # live-in: opaque to folding
+            out = b.tree.fresh_register(BOOL)
+            srcs = [flag if o == "flag" else o for o in operands]
+            b.emit(opcode, srcs, dest=out)
+            b.emit(Opcode.PRINT, [out])
+
+        return one_tree_program(build)
+
+    def _folded_op(self, opcode, operands):
+        program = self._flag_program(opcode, operands)
+        cleaned = check_equivalent_and_idempotent(
+            program, lambda tree: fold_constants(tree))
+        return main_tree(cleaned).ops[0]
+
+    def test_annihilators_fold_to_constants(self):
+        assert self._folded_op(Opcode.AND, ["flag", 0]).srcs == \
+            (Constant(0),)
+        assert self._folded_op(Opcode.ANDN, ["flag", 1]).srcs == \
+            (Constant(0),)
+        assert self._folded_op(Opcode.ANDN, [0, "flag"]).srcs == \
+            (Constant(0),)
+        assert self._folded_op(Opcode.OR, ["flag", 1]).srcs == \
+            (Constant(1),)
+
+    def test_neutral_operand_folds_to_copy_of_bool(self):
+        for opcode, operands in ((Opcode.AND, ["flag", 1]),
+                                 (Opcode.OR, [0, "flag"]),
+                                 (Opcode.ANDN, ["flag", 0]),
+                                 (Opcode.XOR, ["flag", 0])):
+            op = self._folded_op(opcode, operands)
+            assert op.opcode is Opcode.MOV
+            assert op.srcs == (Register("v.f", BOOL),)
+
+    def test_negating_operand_folds_to_not(self):
+        for opcode, operands in ((Opcode.ANDN, [1, "flag"]),
+                                 (Opcode.XOR, ["flag", 1])):
+            assert self._folded_op(opcode, operands).opcode is Opcode.NOT
+
+    def test_non_bool_operand_not_copied(self):
+        # and(x, #1) normalises x to 0/1; a copy of a non-BOOL register
+        # would skip that, so the op must stay
+        def build(b):
+            x = b.tree.fresh_register("int")
+            b.emit(Opcode.MOV, [7], dest=x)
+            out = b.tree.fresh_register(BOOL)
+            b.emit(Opcode.AND, [x, Constant(1)], dest=out)
+            b.emit(Opcode.PRINT, [out])
+
+        # constant propagation replaces %x with #7 first, after which
+        # the whole op folds exactly — so block propagation by reading
+        # x again (two defs would also work); simplest: check the
+        # identity helper directly
+        from repro.passes.cleanup import _logical_identity
+        program = one_tree_program(build)
+        op = main_tree(program).ops[1]
+        assert _logical_identity(op) is None
+
+    def test_guard_conjunction_chain_collapses(self):
+        # the fuzz-found shape: a folded compare feeds the AND/ANDN
+        # pair guarding an if/else; the whole guarded region must
+        # evaporate instead of serialising
+        def build(b):
+            taken = b.tree.fresh_register(BOOL)
+            b.emit(Opcode.CMP_EQ, [3, -1], dest=taken)  # constant: 0
+            live = b.tree.fresh_register(BOOL)
+            b.emit(Opcode.CMP_LT, [0, 1], dest=live)
+            g_then = b.tree.fresh_register(BOOL)
+            b.emit(Opcode.AND, [live, taken], dest=g_then)
+            g_else = b.tree.fresh_register(BOOL)
+            b.emit(Opcode.ANDN, [live, taken], dest=g_else)
+            v = Register("v.x", "int")
+            b.emit(Opcode.MOV, [11], dest=v, guard=Guard(g_then))
+            b.emit(Opcode.MOV, [22], dest=v, guard=Guard(g_else))
+            b.emit(Opcode.PRINT, [v])
+
+        program = one_tree_program(build)
+        reference = run_program(program.copy(), collect_profile=False)
+        cleaned = program.copy()
+        tree = main_tree(cleaned)
+        for _ in range(2):  # fold exposes dead guards, dce reaps them
+            fold_constants(tree)
+            propagate_copies(tree)
+            eliminate_dead_code(tree)
+        validate_program(cleaned)
+        assert run_program(cleaned.copy()).output == reference.output
+        # the never-true branch (guarded MOV #11 and its AND) is gone
+        assert all(Constant(11) not in op.srcs for op in tree.ops)
+        assert all(op.opcode is not Opcode.AND for op in tree.ops)
+
+
 class TestCopyPropagation:
     def test_forwards_simple_copy(self):
         def build(b):
