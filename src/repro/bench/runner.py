@@ -25,11 +25,13 @@ from typing import Dict, Iterable, Optional, Tuple
 from ..disambig.pipeline import DisambiguationResult, Disambiguator
 from ..disambig.spd_heuristic import SpDConfig
 from ..frontend.grafting import GraftConfig
+from ..hwsim.core import HwTiming
 from ..ir.program import Program
 from ..machine.description import LifeMachine
+from ..machine.hw import HwMachine
 from ..passes import PassPipelineConfig
 from ..pipeline.core import Pipeline
-from ..pipeline.executor import TimingJob, ViewJob
+from ..pipeline.executor import HwTimingJob, TimingJob, ViewJob
 from ..pipeline.store import ArtifactStore
 from ..sim.evaluate import ProgramTiming
 from ..sim.interpreter import RunResult
@@ -99,6 +101,13 @@ class BenchmarkRunner:
         source = get_benchmark(name).source
         return self.pipeline.timing(name, source, kind, mach).timing
 
+    def hw_timing(self, name: str, kind: Disambiguator,
+                  mach: HwMachine) -> HwTiming:
+        """Cycle count of one view on a dynamically scheduled machine
+        (:mod:`repro.hwsim`), cached like every other stage."""
+        source = get_benchmark(name).source
+        return self.pipeline.hw_timing(name, source, kind, mach).timing
+
     # -- parallel fan-out ----------------------------------------------------
 
     def prefetch_timings(self,
@@ -108,6 +117,15 @@ class BenchmarkRunner:
         """Warm the cache for a batch of (name, kind, machine) timings,
         using ``jobs`` worker processes (default: the runner's knob)."""
         job_list = [TimingJob(name, get_benchmark(name).source, kind, mach)
+                    for name, kind, mach in specs]
+        self.pipeline.prefetch(job_list, self.jobs if jobs is None else jobs)
+
+    def prefetch_hw_timings(self,
+                            specs: Iterable[Tuple[str, Disambiguator,
+                                                  HwMachine]],
+                            jobs: Optional[int] = None) -> None:
+        """Warm the cache for a batch of hardware-simulation timings."""
+        job_list = [HwTimingJob(name, get_benchmark(name).source, kind, mach)
                     for name, kind, mach in specs]
         self.pipeline.prefetch(job_list, self.jobs if jobs is None else jobs)
 

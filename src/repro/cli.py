@@ -8,6 +8,7 @@ Usage (also via ``python -m repro``)::
     repro bench NAME [options]           # same for a built-in benchmark
     repro trace TARGET [options]         # per-pass timing tree + metrics
     repro report {table6_1,...,all}      # regenerate a paper table/figure
+    repro hwcompare [NAME...] [options]  # compiler vs. hardware sweep
     repro fuzz [options]                 # differential fuzzing campaign
     repro list                           # list built-in benchmarks
     repro passes                         # list registered program passes
@@ -360,6 +361,31 @@ def _cmd_fuzz(args) -> int:
     return 1 if result.divergent else 0
 
 
+def _cmd_hwcompare(args) -> int:
+    """Compiler vs. hardware disambiguation sweep (docs/hardware-baseline.md)."""
+    from .experiments import hw_compare
+
+    runner = BenchmarkRunner(spd_config=_spd_config_from(args),
+                             jobs=args.jobs, passes=_pass_config_from(args))
+    names = args.names or None
+
+    def produce():
+        return hw_compare.run(runner, names=names,
+                              memory_latency=args.memory,
+                              predictor=args.predictor, jobs=args.jobs)
+
+    if args.json:
+        with obs.tracing() as tracer:
+            table = produce()
+        print(table.render())
+        return _write_json(args.json, {"schema": "repro.hwcompare/1",
+                                       **table.to_dict(),
+                                       "metrics":
+                                           tracer.metrics.snapshot()})
+    print(produce().render())
+    return 0
+
+
 def _cmd_report(args) -> int:
     from .experiments import (ablation, figure6_2, figure6_3, figure6_4,
                               table6_1, table6_2, table6_3)
@@ -518,6 +544,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="archive diverging programs unreduced")
     add_json_flag(p_fuzz)
     p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_hw = sub.add_parser(
+        "hwcompare",
+        help="compiler vs. hardware dynamic disambiguation sweep")
+    p_hw.add_argument("names", nargs="*", metavar="NAME",
+                      help="benchmarks to sweep (default: all)")
+    p_hw.add_argument("--memory", type=int, choices=(2, 6), default=2,
+                      help="memory latency in cycles (default 2)")
+    p_hw.add_argument("--predictor", choices=["always", "never",
+                                              "store-set", "oracle"],
+                      default="store-set",
+                      help="memory-dependence predictor of the hardware "
+                           "configs (default store-set)")
+    add_spd_flags(p_hw)
+    add_json_flag(p_hw)
+    add_jobs_flag(p_hw)
+    p_hw.set_defaults(func=_cmd_hwcompare)
 
     p_report = sub.add_parser("report", help="regenerate a table/figure")
     p_report.add_argument("which", choices=[

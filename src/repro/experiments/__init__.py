@@ -1,8 +1,9 @@
 """Experiment harness: one module per paper table/figure + ablations."""
 
-from . import ablation, figure6_2, figure6_3, figure6_4, table6_1, table6_2, table6_3
+from . import (ablation, figure6_2, figure6_3, figure6_4, hw_compare,
+               table6_1, table6_2, table6_3)
 from .report import format_percent, format_table
 
 __all__ = ["ablation", "figure6_2", "figure6_3", "figure6_4",
-           "format_percent", "format_table",
+           "format_percent", "format_table", "hw_compare",
            "table6_1", "table6_2", "table6_3"]

@@ -1,0 +1,160 @@
+"""Compiler vs. hardware dynamic disambiguation (``repro hwcompare``).
+
+The paper's framing (Section 1) is that speculative disambiguation gives
+a *compiler* the benefit an out-of-order core gets from its load/store
+queue.  This experiment makes that comparison quantitative by timing
+every benchmark four ways at each issue width:
+
+==============  ========================================================
+``no-disamb``   statically scheduled VLIW, NAIVE view — no
+                disambiguation of any kind
+``spd``         statically scheduled VLIW, SPEC view — speculative
+                disambiguation in the compiler
+``hw``          dynamically scheduled core (:mod:`repro.hwsim`), NAIVE
+                view — disambiguation in hardware only
+``spd+hw``      dynamically scheduled core running the SPEC view — both
+                mechanisms at once
+==============  ========================================================
+
+All four share the Table 6-1 latency table, so cycle counts are directly
+comparable.  The hardware rows also report how many loads were squashed
+and replayed — the price dynamic speculation pays that SpD's compiled-in
+recovery code does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..bench.runner import BenchmarkRunner
+from ..bench.suite import benchmark_names
+from ..disambig.pipeline import Disambiguator
+from ..machine.description import machine
+from ..machine.hw import hw_machine
+from .report import format_percent, format_table, round6
+
+__all__ = ["CONFIGS", "WIDTHS", "HwCompare", "run"]
+
+#: Column order of the comparison (name -> human heading).
+CONFIGS = ("no-disamb", "spd", "hw", "spd+hw")
+
+#: The issue widths of the sweep.
+WIDTHS = (1, 2, 4, 8)
+
+
+@dataclass
+class HwCompare:
+    """Cycle counts for every (benchmark, width, config) cell."""
+
+    predictor: str
+    memory_latency: int
+    widths: Sequence[int] = WIDTHS
+    #: benchmark -> width -> config -> cycles
+    cycles: Dict[str, Dict[int, Dict[str, int]]] = field(default_factory=dict)
+    #: benchmark -> width -> config -> squashed loads (hw configs only)
+    squashes: Dict[str, Dict[int, Dict[str, int]]] = field(
+        default_factory=dict)
+
+    def speedup(self, name: str, width: int, config: str) -> float:
+        """Cycle advantage of *config* over no-disambiguation."""
+        cells = self.cycles[name][width]
+        return cells["no-disamb"] / cells[config] - 1.0
+
+    def rows(self) -> List[List[object]]:
+        out: List[List[object]] = []
+        for name in self.cycles:
+            for width in self.widths:
+                cells = self.cycles[name][width]
+                sq = self.squashes[name][width]
+                out.append([
+                    name, width,
+                    cells["no-disamb"], cells["spd"],
+                    cells["hw"], cells["spd+hw"],
+                    format_percent(self.speedup(name, width, "spd")),
+                    format_percent(self.speedup(name, width, "hw")),
+                    format_percent(self.speedup(name, width, "spd+hw")),
+                    sq["hw"], sq["spd+hw"],
+                ])
+        return out
+
+    def render(self) -> str:
+        title = (f"Compiler vs. hardware disambiguation "
+                 f"(mem={self.memory_latency}, "
+                 f"predictor={self.predictor})")
+        return format_table(
+            title,
+            ["Program", "FUs", "NoDis", "SpD", "HW", "SpD+HW",
+             "SpD%", "HW%", "SpD+HW%", "HWsq", "SpD+HWsq"],
+            self.rows())
+
+    def to_dict(self) -> dict:
+        return {
+            "title": "Compiler vs. hardware dynamic disambiguation",
+            "predictor": self.predictor,
+            "memory_latency": self.memory_latency,
+            "widths": list(self.widths),
+            "configs": list(CONFIGS),
+            "benchmarks": {
+                name: {
+                    str(width): {
+                        "cycles": dict(self.cycles[name][width]),
+                        "squashes": dict(self.squashes[name][width]),
+                        "speedup_over_no_disamb": {
+                            config: round6(self.speedup(name, width, config))
+                            for config in CONFIGS[1:]
+                        },
+                    }
+                    for width in self.widths
+                }
+                for name in self.cycles
+            },
+        }
+
+
+def run(runner: Optional[BenchmarkRunner] = None,
+        names: Optional[Sequence[str]] = None,
+        widths: Sequence[int] = WIDTHS,
+        memory_latency: int = 2,
+        predictor: str = "store-set",
+        jobs: int = 1) -> HwCompare:
+    """Time every benchmark under the four configurations per width.
+
+    ``jobs > 1`` warms the artifact store on that many worker processes
+    first; results are identical to the serial run (property-tested).
+    """
+    runner = runner or BenchmarkRunner()
+    names = list(names) if names is not None else benchmark_names()
+    vliw_specs = [(name, kind, machine(width, memory_latency))
+                  for name in names for width in widths
+                  for kind in (Disambiguator.NAIVE, Disambiguator.SPEC)]
+    hw_specs = [(name, kind,
+                 hw_machine(width, memory_latency, predictor))
+                for name in names for width in widths
+                for kind in (Disambiguator.NAIVE, Disambiguator.SPEC)]
+    if jobs > 1:
+        runner.prefetch_timings(vliw_specs, jobs=jobs)
+        runner.prefetch_hw_timings(hw_specs, jobs=jobs)
+
+    table = HwCompare(predictor, memory_latency, tuple(widths))
+    for name in names:
+        table.cycles[name] = {}
+        table.squashes[name] = {}
+        for width in widths:
+            vliw = machine(width, memory_latency)
+            hw = hw_machine(width, memory_latency, predictor)
+            hw_naive = runner.hw_timing(name, Disambiguator.NAIVE, hw)
+            hw_spec = runner.hw_timing(name, Disambiguator.SPEC, hw)
+            table.cycles[name][width] = {
+                "no-disamb": runner.timing(
+                    name, Disambiguator.NAIVE, vliw).cycles,
+                "spd": runner.timing(
+                    name, Disambiguator.SPEC, vliw).cycles,
+                "hw": hw_naive.cycles,
+                "spd+hw": hw_spec.cycles,
+            }
+            table.squashes[name][width] = {
+                "hw": hw_naive.stats["squashes"],
+                "spd+hw": hw_spec.stats["squashes"],
+            }
+    return table

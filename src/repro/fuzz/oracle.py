@@ -18,7 +18,17 @@ through the whole pipeline:
   the infinite machine (SpD in particular never slows it — the paper's
   promise, enforced by the heuristic's best-state restoration), and
   every resource-constrained schedule on the 1/2/4/8-unit machines
-  costs at least the infinite-machine lower bound of its own view.
+  costs at least the infinite-machine lower bound of its own view,
+* the hardware simulator (:mod:`repro.hwsim`) as an independent
+  execution backend: the base program under every registered
+  memory-dependence predictor, plus the SPEC view under the learning
+  predictor, must reproduce the reference **output**, **return value**,
+  **memory trace** and **final memory image** — the commit pass derives
+  load values from the load/store queue's timing, so an engine that
+  mis-orders memory diverges *functionally* here, not just in cycle
+  counts.  Invariants: no finite configuration beats the
+  unbounded-oracle machine's cycle count, and the ``never``-speculate
+  predictor squashes zero loads.
 
 Any violation is reported as a structured :class:`Divergence`; a
 failure of the *reference* run itself (a generator bug, not a pipeline
@@ -37,7 +47,9 @@ from ..disambig.spd_heuristic import SpDConfig
 from ..frontend.driver import compile_source
 from ..frontend.errors import CompileError
 from ..frontend.grafting import graft_program
+from ..hwsim.core import HwSimulator
 from ..machine.description import machine
+from ..machine.hw import HW_ORACLE_INFINITE, hw_machine
 from ..passes import DEFAULT_CLEANUP, PassPipelineConfig
 from ..sim.evaluate import evaluate_program
 from ..sim.interpreter import Interpreter, InterpreterError
@@ -83,6 +95,15 @@ class OracleConfig:
     #: variant already sweeps every sequence)
     grafted_cleanup_sequences: Tuple[Tuple[str, ...], ...] = \
         ((), DEFAULT_CLEANUP)
+    #: run the hardware simulator as a differential backend: the base
+    #: program under each of these predictors, plus the SPEC view under
+    #: the last one, all against the reference interpreter
+    check_hardware: bool = True
+    hw_predictors: Tuple[str, ...] = ("always", "never", "store-set")
+    #: deliberately tight hardware shape — 2 units, 8-entry window —
+    #: so the window/retirement logic is exercised, not just bypassing
+    hw_num_fus: int = 2
+    hw_window: int = 8
     max_steps: int = 5_000_000
 
 
@@ -277,6 +298,8 @@ def check_source(source: str,
              cleanup_grid) in variants:
             _check_views(report, config, prefix, variant_program,
                          variant_ref, variant_interp, cleanup_grid)
+        if config.check_hardware:
+            _check_hardware(report, config, program, reference, ref_interp)
         if report.divergences:
             obs.incr("fuzz.divergences", len(report.divergences))
     return report
@@ -363,6 +386,68 @@ def _check_views(report: ConformanceReport, config: OracleConfig,
                             f"{mach.name} schedule beats the "
                             f"infinite-machine lower bound: "
                             f"{timing.cycles} < {inf_timing.cycles}"))
+
+
+def _run_hw(report: ConformanceReport, label: str, program, mach,
+            reference, ref_interp: Interpreter, max_steps: int):
+    """Execute one program on one hardware machine and diff it against
+    the reference interpreter; ``None`` on a crash divergence."""
+    try:
+        sim = HwSimulator(program.copy(), mach, max_steps=max_steps,
+                          trace_stores=True)
+        result = sim.run()
+    except Exception as exc:  # engine crash / non-convergence = finding
+        report.divergences.append(Divergence(
+            label, "crash",
+            f"hardware simulation failed: {type(exc).__name__}: {exc}"))
+        return None
+    report.executions += 1
+    _diff_results(report, label, reference, ref_interp, result, sim)
+    return result
+
+
+def _check_hardware(report: ConformanceReport, config: OracleConfig,
+                    program, reference, ref_interp: Interpreter) -> None:
+    """The hardware simulator as an independent differential backend."""
+    lower_bound = _run_hw(report, "hw[oracle-infinite]", program,
+                          hw_machine(None, config.memory_latency,
+                                     "oracle", window=None),
+                          reference, ref_interp, config.max_steps)
+    for predictor in config.hw_predictors:
+        mach = hw_machine(config.hw_num_fus, config.memory_latency,
+                          predictor, window=config.hw_window)
+        label = f"hw[{predictor}]"
+        result = _run_hw(report, label, program, mach, reference,
+                         ref_interp, config.max_steps)
+        if result is None:
+            continue
+        report.timings_checked += 1
+        if lower_bound is not None and result.cycles < lower_bound.cycles:
+            report.divergences.append(Divergence(
+                label, "invariant",
+                f"finite hardware beats the unbounded oracle machine: "
+                f"{result.cycles} < {lower_bound.cycles} cycles"))
+        if predictor == "never" and result.timing.stats["squashes"]:
+            report.divergences.append(Divergence(
+                label, "invariant",
+                f"never-speculate predictor squashed "
+                f"{result.timing.stats['squashes']} loads"))
+
+    # the SPEC view through the hardware as well: SpD's guarded dual
+    # code is where speculative loads and recovery guards are densest
+    try:
+        view = disambiguate(program, Disambiguator.SPEC,
+                            profile=reference.profile,
+                            machine=machine(None, config.memory_latency),
+                            spd_config=SpDConfig(),
+                            passes=PassPipelineConfig())
+    except Exception:
+        return  # already reported by the view sweep
+    predictor = config.hw_predictors[-1]
+    _run_hw(report, f"spec+hw[{predictor}]", view.program,
+            hw_machine(config.hw_num_fus, config.memory_latency, predictor,
+                       window=config.hw_window),
+            reference, ref_interp, config.max_steps)
 
 
 def make_divergence_predicate(

@@ -1,0 +1,356 @@
+"""Program-level hardware simulation: functional + timing, coupled.
+
+:class:`HwSimulator` executes a decision-tree program the way the
+interpreter does — same frames, same call stack, same opcode semantics —
+but runs every *tree execution* through the cycle-level engine of
+:mod:`repro.hwsim.engine` in three passes:
+
+1. **resolve** — a sequential shadow pass computes guard truths and the
+   actual address of every guard-true memory access (with store-to-load
+   overlay, so in-tree RAW chains resolve), then asks the
+   memory-dependence predictor for a bypass/wait decision on every
+   (unresolved store, load) pair;
+2. **time** — the engine simulates dynamic issue under those decisions,
+   yielding per-exit completion cycles, per-access issue/completion
+   times and the list of misspeculation violations (which train the
+   predictor);
+3. **commit** — the authoritative pass.  Register updates, PRINT output
+   and the taken exit are recomputed sequentially, but every load's
+   value is derived *from the engine's timing*: the load/store queue
+   forwards the program-order-latest earlier same-address store whose
+   completion does not exceed the load's final issue cycle, else the
+   value memory held at tree entry.  A timing bug that lets a load slip
+   past a store it aliases therefore commits a stale value — and the
+   differential oracle (:mod:`repro.fuzz.oracle`) catches it as an
+   output/memory divergence rather than it hiding inside cycle counts.
+
+Executions are memoised per tree on the canonical address-class
+signature plus the predictor's decision bits, so learning predictors
+invalidate entries exactly when a decision flips; violations are
+replayed from the memo so training and statistics stay exact on hits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .. import obs
+from ..ir.operations import Opcode, Operation
+from ..ir.program import Program
+from ..ir.values import FLOAT
+from ..machine.hw import HwMachine
+from ..sim.interpreter import (BINARY_OPS, UNARY_OPS, Interpreter,
+                               InterpreterError, Number, RunResult)
+from .engine import EngineResult, MemEvent, TreeContext, simulate_tree
+from .predictor import DependencePredictor, OpKey, make_predictor
+
+__all__ = ["HwStats", "HwTiming", "HwRunResult", "HwSimulator",
+           "simulate_program"]
+
+
+@dataclass
+class HwStats:
+    """Dynamic counters of one simulated program run."""
+
+    tree_executions: int = 0
+    slots_used: int = 0          #: FU issue slots consumed (incl. replays)
+    spec_issues: int = 0         #: loads issued past an unresolved store
+    violations: int = 0          #: (load, store) misspeculation pairs
+    squashes: int = 0            #: distinct loads squashed & replayed
+    memo_hits: int = 0
+    memo_misses: int = 0
+
+    @property
+    def replays(self) -> int:
+        """Each squashed load re-issues exactly once."""
+        return self.squashes
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "tree_executions": self.tree_executions,
+            "slots_used": self.slots_used,
+            "spec_issues": self.spec_issues,
+            "violations": self.violations,
+            "squashes": self.squashes,
+            "replays": self.replays,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+        }
+
+
+@dataclass(frozen=True)
+class HwTiming:
+    """Timing summary of one program on one hardware machine —
+    the pickled payload of the pipeline's ``hwtime`` stage."""
+
+    machine_name: str
+    predictor: str
+    cycles: int
+    stats: Dict[str, int]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "machine": self.machine_name,
+            "predictor": self.predictor,
+            "cycles": self.cycles,
+            **self.stats,
+        }
+
+
+@dataclass
+class HwRunResult(RunResult):
+    """Interpreter-compatible result plus the hardware cycle count."""
+
+    cycles: int = 0
+    timing: Optional[HwTiming] = None
+
+
+class HwSimulator(Interpreter):
+    """Cycle-level dynamically scheduled machine simulator.
+
+    Functionally interpreter-compatible (same output, memory and return
+    value when the timing engine is correct); see the module docstring
+    for the three-pass structure of each tree execution.
+    """
+
+    def __init__(self, program: Program, machine: HwMachine,
+                 max_steps: int = 200_000_000, strict_memory: bool = False,
+                 trace_stores: bool = False):
+        super().__init__(program, max_steps=max_steps, collect_profile=False,
+                         strict_memory=strict_memory,
+                         trace_stores=trace_stores)
+        self.machine = machine
+        self.is_oracle = machine.predictor == "oracle"
+        self.predictor: DependencePredictor = make_predictor(machine.predictor)
+        self.cycles = 0
+        self.stats = HwStats()
+        self._contexts: Dict[Tuple[str, str], TreeContext] = {}
+        self._memo: Dict[Tuple[str, str],
+                         Dict[tuple, EngineResult]] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, args: Tuple[Number, ...] = ()) -> HwRunResult:
+        with obs.span("hwsim.run", machine=self.machine.name) as span:
+            base = self._run(args)
+            timing = self.timing()
+            if obs.is_enabled():
+                stats = self.stats
+                obs.incr("hwsim.cycles", self.cycles)
+                obs.incr("hwsim.tree_executions", stats.tree_executions)
+                obs.incr("hwsim.issued_slots", stats.slots_used)
+                obs.incr("hwsim.spec_issues", stats.spec_issues)
+                obs.incr("hwsim.squashes", stats.squashes)
+                obs.incr("hwsim.replays", stats.replays)
+                obs.incr("hwsim.memo_hits", stats.memo_hits)
+                obs.incr("hwsim.memo_misses", stats.memo_misses)
+                span.annotate(cycles=self.cycles, steps=base.steps,
+                              squashes=stats.squashes)
+        return HwRunResult(base.output, base.profile, base.steps,
+                           base.return_value, self.cycles, timing)
+
+    def timing(self) -> HwTiming:
+        return HwTiming(self.machine.name, self.machine.predictor,
+                        self.cycles, self.stats.to_dict())
+
+    # -- per-tree execution --------------------------------------------------
+
+    def _execute_tree(self, frame):
+        tree = self.program.functions[frame.function].trees[frame.tree]
+        key = (frame.function, frame.tree)
+        ctx = self._contexts.get(key)
+        if ctx is None:
+            ctx = self._contexts[key] = TreeContext(tree, self.machine)
+            self._memo[key] = {}
+        self.stats.tree_executions += 1
+
+        self.steps += len(tree.ops) + 1
+        if self.steps > self.max_steps:
+            raise InterpreterError(f"step limit exceeded ({self.max_steps})")
+
+        events, bypass, decision_sig = self._resolve(frame, tree)
+        memo_key = (tuple((e.node, e.is_store, e.addr_class) for e in events),
+                    decision_sig)
+        memo = self._memo[key]
+        result = memo.get(memo_key)
+        if result is None:
+            result = simulate_tree(ctx, self.machine, events, bypass)
+            memo[memo_key] = result
+            self.stats.memo_misses += 1
+        else:
+            self.stats.memo_hits += 1
+        self._account(frame, tree, result)
+
+        exit_, exit_index = self._commit(frame, tree, events, result)
+        self.cycles += result.path_times[exit_index]
+        return exit_, exit_index
+
+    def _op_key(self, frame, tree, node: int) -> OpKey:
+        return (frame.function, frame.tree, tree.ops[node].op_id)
+
+    def _account(self, frame, tree, result: EngineResult) -> None:
+        """Fold one engine result into the run counters and train the
+        predictor — on memo hits too, so learning and statistics see
+        every dynamic violation, not just the first of each shape."""
+        stats = self.stats
+        stats.slots_used += result.slots_used
+        stats.spec_issues += result.spec_issues
+        stats.violations += len(result.violations)
+        stats.squashes += result.squashes
+        for load_node, store_node in result.violations:
+            self.predictor.train(self._op_key(frame, tree, load_node),
+                                 self._op_key(frame, tree, store_node))
+
+    # -- pass 1: sequential resolve ------------------------------------------
+
+    def _resolve(self, frame, tree):
+        """Shadow-execute the tree to find guard-true memory accesses
+        (with canonical address classes) and collect the predictor's
+        bypass decision for every (earlier store, load) pair."""
+        regs = dict(frame.regs)
+        overlay: Dict[int, Number] = {}
+        memory = self.memory
+        events: List[MemEvent] = []
+        addrs: List[int] = []
+        class_of: Dict[int, int] = {}
+
+        def load_fn(op: Operation, addr: int) -> Number:
+            self._add_event(events, addrs, class_of, op_index, False, addr)
+            return overlay.get(addr, memory[addr])
+
+        def store_fn(op: Operation, addr: int, value: Number) -> None:
+            self._add_event(events, addrs, class_of, op_index, True, addr)
+            overlay[addr] = value
+
+        for op_index, op in enumerate(tree.ops):
+            if self._guard_true(regs, op.guard):
+                self._step_op(op, regs, load_fn, store_fn, lambda value: None)
+
+        bypass: Dict[Tuple[int, int], bool] = {}
+        decisions: List[bool] = []
+        for li, load in enumerate(events):
+            if load.is_store:
+                continue
+            load_key = self._op_key(frame, tree, load.node)
+            for si in range(li):
+                store = events[si]
+                if not store.is_store:
+                    continue
+                if self.is_oracle:
+                    decision = store.addr_class != load.addr_class
+                else:
+                    decision = self.predictor.may_bypass(
+                        load_key, self._op_key(frame, tree, store.node))
+                bypass[(si, li)] = decision
+                decisions.append(decision)
+        return events, bypass, tuple(decisions)
+
+    @staticmethod
+    def _add_event(events, addrs, class_of, node: int, is_store: bool,
+                   addr: int) -> None:
+        cls = class_of.setdefault(addr, len(class_of))
+        events.append(MemEvent(node, is_store, cls))
+        addrs.append(addr)
+
+    # -- pass 3: LSQ-ordered commit ------------------------------------------
+
+    def _commit(self, frame, tree, events, result: EngineResult):
+        """The authoritative pass: recompute the tree sequentially, but
+        draw every load's value from the load/store queue ordering the
+        engine produced.  Stores drain to memory at tree exit in program
+        order (in-order retirement)."""
+        regs = frame.regs
+        memory = self.memory
+        event_of_node = {e.node: i for i, e in enumerate(events)}
+        store_vals: Dict[int, Tuple[int, Number]] = {}
+        pending_stores: List[Tuple[int, Number]] = []
+
+        def load_fn(op: Operation, addr: int) -> Number:
+            ei = event_of_node.get(op_index)
+            if ei is None:
+                # not timed by the engine (only possible after an engine
+                # bug diverged the commit pass): sequential fallback
+                for st_addr, st_val in reversed(pending_stores):
+                    if st_addr == addr:
+                        return st_val
+                return memory[addr]
+            horizon = result.final_issue[ei]
+            best: Optional[Number] = None
+            for si in range(ei - 1, -1, -1):
+                done = store_vals.get(si)
+                if (done is not None and done[0] == addr
+                        and result.mem_completion[si] <= horizon):
+                    best = done[1]
+                    break
+            return memory[addr] if best is None else best
+
+        def store_fn(op: Operation, addr: int, value: Number) -> None:
+            ei = event_of_node.get(op_index)
+            if ei is not None:
+                store_vals[ei] = (addr, value)
+            pending_stores.append((addr, value))
+
+        for op_index, op in enumerate(tree.ops):
+            if not self._guard_true(regs, op.guard):
+                continue
+            self._step_op(op, regs, load_fn, store_fn, self.output.append)
+
+        for addr, value in pending_stores:
+            memory[addr] = value
+            if self.trace_stores:
+                self.store_trace.append((addr, value))
+
+        for exit_index, exit_ in enumerate(tree.exits):
+            if self._guard_true(regs, exit_.guard):
+                return exit_, exit_index
+        raise InterpreterError(
+            f"tree {frame.function}.{frame.tree}: no exit taken")
+
+    # -- shared opcode semantics ---------------------------------------------
+
+    def _step_op(self, op: Operation, regs, load_fn, store_fn, out_fn) -> None:
+        """One guard-true operation under interpreter semantics, with
+        memory and output behaviour delegated to the current pass."""
+        opcode = op.opcode
+        if opcode is Opcode.LOAD:
+            addr = self._read(regs, op.srcs[0])
+            if isinstance(addr, int) and 0 <= addr < len(self.memory):
+                regs[op.dest.name] = load_fn(op, addr)
+            elif self.strict_memory:
+                self._check_addr(addr)
+            else:
+                # speculated loads never fault: junk value
+                regs[op.dest.name] = 0.0 if op.dest.type == FLOAT else 0
+        elif opcode is Opcode.STORE:
+            value = self._read(regs, op.srcs[0])
+            addr = self._read(regs, op.srcs[1])
+            self._check_addr(addr)
+            store_fn(op, addr, value)
+        elif opcode is Opcode.PRINT:
+            out_fn(self._read(regs, op.srcs[0]))
+        elif opcode is Opcode.SELECT:
+            cond = self._read(regs, op.srcs[0])
+            picked = op.srcs[1] if cond else op.srcs[2]
+            regs[op.dest.name] = self._read(regs, picked)
+        else:
+            handler = BINARY_OPS.get(opcode)
+            if handler is not None:
+                regs[op.dest.name] = handler(
+                    self._read(regs, op.srcs[0]), self._read(regs, op.srcs[1]))
+            elif opcode is Opcode.FSQRT:
+                value = self._read(regs, op.srcs[0])
+                regs[op.dest.name] = math.sqrt(value) if value >= 0 else 0.0
+            else:
+                regs[op.dest.name] = UNARY_OPS[opcode](
+                    self._read(regs, op.srcs[0]))
+
+
+def simulate_program(program: Program, machine: HwMachine,
+                     args: Tuple[Number, ...] = (),
+                     max_steps: int = 200_000_000,
+                     strict_memory: bool = False) -> HwRunResult:
+    """Execute *program* on the dynamically scheduled *machine*."""
+    return HwSimulator(program, machine, max_steps=max_steps,
+                       strict_memory=strict_memory).run(args)

@@ -1,14 +1,33 @@
-"""LIFE VLIW machine model: latencies (Table 6-1) and configurations."""
+"""Machine models of the evaluation.
+
+Two machines execute the same decision-tree IR under the shared
+Table 6-1 latencies:
+
+* :class:`LifeMachine` — the paper's statically scheduled guarded LIFE
+  VLIW (1..8 universal functional units, or the idealised infinite
+  machine of the first-stage simulator);
+* :class:`HwMachine` — the hardware alternative: an R10000-style
+  dynamically scheduled core with register renaming, a bounded issue
+  window, a load/store queue and a pluggable memory-dependence
+  predictor (see :mod:`repro.hwsim`).
+"""
 
 from .description import INFINITE, LifeMachine, machine, paper_machines
+from .hw import (HW_ORACLE_INFINITE, HwMachine, PREDICTOR_NAMES, hw_machine,
+                 paper_hw_machines)
 from .latencies import LatencyTable, TABLE_6_1_MEM2, TABLE_6_1_MEM6
 
 __all__ = [
+    "HW_ORACLE_INFINITE",
+    "HwMachine",
     "INFINITE",
     "LatencyTable",
     "LifeMachine",
+    "PREDICTOR_NAMES",
     "TABLE_6_1_MEM2",
     "TABLE_6_1_MEM6",
+    "hw_machine",
     "machine",
+    "paper_hw_machines",
     "paper_machines",
 ]

@@ -6,6 +6,9 @@ idealised infinite machine.  Guarded (conditional) execution is modelled
 by the timing rule that an operation may issue before its guard is
 ready, but cannot complete earlier than one cycle after the guard value
 becomes available (Section 3.2 / Figure 3-1).
+
+The dynamically scheduled hardware counterpart (register renaming,
+issue window, load/store queue) is :class:`~repro.machine.hw.HwMachine`.
 """
 
 from __future__ import annotations

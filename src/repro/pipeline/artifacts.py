@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from ..disambig.pipeline import DisambiguationResult, Disambiguator
+from ..hwsim.core import HwTiming
 from ..ir.depgraph import ArcKind, DependenceGraph
 from ..ir.program import Program
 from ..sim.evaluate import ProgramTiming
@@ -29,7 +30,7 @@ from ..sim.interpreter import RunResult
 from ..sim.profile import ProfileData, TreeKey
 
 __all__ = ["CompiledArtifact", "ProfileArtifact", "DisambiguationArtifact",
-           "TimingArtifact"]
+           "TimingArtifact", "HwTimingArtifact"]
 
 
 @dataclass
@@ -93,6 +94,22 @@ class TimingArtifact:
     label: str
     kind: Disambiguator
     timing: ProgramTiming
+
+    @property
+    def cycles(self) -> int:
+        return self.timing.cycles
+
+
+@dataclass
+class HwTimingArtifact:
+    """Stage 4': total cycles of one view on one *dynamically scheduled*
+    hardware machine (:mod:`repro.hwsim`), with its squash/replay
+    counters."""
+
+    fingerprint: str
+    label: str
+    kind: Disambiguator
+    timing: HwTiming
 
     @property
     def cycles(self) -> int:

@@ -27,14 +27,17 @@ from ..disambig.pipeline import Disambiguator, disambiguate
 from ..disambig.spd_heuristic import SpDConfig
 from ..frontend.driver import compile_source
 from ..frontend.grafting import GraftConfig, graft_program
+from ..hwsim.core import simulate_program
 from ..machine.description import LifeMachine, machine
+from ..machine.hw import HwMachine
 from ..passes import PassPipelineConfig
 from ..sim.evaluate import evaluate_program
 from ..sim.interpreter import run_program
 from .artifacts import (CompiledArtifact, DisambiguationArtifact,
-                        ProfileArtifact, TimingArtifact)
-from .fingerprint import (fingerprint, graft_config_key, latency_key,
-                          machine_key, pass_pipeline_key, spd_config_key)
+                        HwTimingArtifact, ProfileArtifact, TimingArtifact)
+from .fingerprint import (fingerprint, graft_config_key, hw_machine_key,
+                          latency_key, machine_key, pass_pipeline_key,
+                          spd_config_key)
 from .store import ArtifactStore
 
 __all__ = ["Pipeline"]
@@ -90,6 +93,14 @@ class Pipeline:
             "stage": "timing",
             "view": self.view_fingerprint(source, kind, mach.memory_latency),
             "machine": machine_key(mach),
+        })
+
+    def hw_timing_fingerprint(self, source: str, kind: Disambiguator,
+                              mach: HwMachine) -> str:
+        return fingerprint({
+            "stage": "hwtime",
+            "view": self.view_fingerprint(source, kind, mach.memory_latency),
+            "machine": hw_machine_key(mach),
         })
 
     # -- stages --------------------------------------------------------------
@@ -162,6 +173,31 @@ class Pipeline:
                                           profiled.profile)
             artifact = TimingArtifact(fp, label, kind, timing)
             self.store.put("timing", fp, artifact)
+        return artifact
+
+    def hw_timing(self, label: str, source: str, kind: Disambiguator,
+                  mach: HwMachine) -> HwTimingArtifact:
+        """Stage 4': cycle count of one view on a dynamically scheduled
+        machine — the same cached-artifact discipline as :meth:`timing`,
+        but the cycles come from executing the program through
+        :class:`~repro.hwsim.core.HwSimulator` rather than evaluating
+        static schedules against a profile."""
+        fp = self.hw_timing_fingerprint(source, kind, mach)
+        artifact = self.store.get("hwtime", fp)
+        if artifact is None:
+            view = self.view(label, source, kind, mach.memory_latency)
+            profiled = self.profile(label, source)
+            with obs.span("pipeline.hw_timing", program=label,
+                          kind=kind.value, machine=mach.name):
+                # simulate a copy: the simulator may lay out memory on a
+                # program the store also serves to other callers
+                run = simulate_program(view.program.copy(), mach)
+                if not profiled.reference.output_equal(run):
+                    raise AssertionError(
+                        f"hardware simulation diverged from the reference "
+                        f"interpreter on program {label!r} ({mach.name})")
+            artifact = HwTimingArtifact(fp, label, kind, run.timing)
+            self.store.put("hwtime", fp, artifact)
         return artifact
 
     # -- parallel fan-out ----------------------------------------------------

@@ -33,11 +33,12 @@ from ..disambig.spd_heuristic import SpDConfig
 from ..frontend.grafting import GraftConfig
 from ..passes import PassPipelineConfig
 from ..machine.description import LifeMachine
-from .artifacts import TimingArtifact
+from ..machine.hw import HwMachine
+from .artifacts import HwTimingArtifact, TimingArtifact
 from .core import Pipeline
 from .store import ArtifactStore
 
-__all__ = ["ViewJob", "TimingJob", "run_jobs"]
+__all__ = ["ViewJob", "TimingJob", "HwTimingJob", "run_jobs"]
 
 
 @dataclass(frozen=True)
@@ -60,7 +61,17 @@ class TimingJob:
     machine: LifeMachine
 
 
-Job = Union[ViewJob, TimingJob]
+@dataclass(frozen=True)
+class HwTimingJob:
+    """Compute one hardware-simulation timing (stage 4', pulls in 1-3)."""
+
+    label: str
+    source: str
+    kind: Disambiguator
+    machine: HwMachine
+
+
+Job = Union[ViewJob, TimingJob, HwTimingJob]
 
 
 @dataclass(frozen=True)
@@ -97,6 +108,9 @@ def _run_job(job: Job):
 def _run_on(pipeline: Pipeline, job: Job):
     if isinstance(job, TimingJob):
         return pipeline.timing(job.label, job.source, job.kind, job.machine)
+    if isinstance(job, HwTimingJob):
+        return pipeline.hw_timing(job.label, job.source, job.kind,
+                                  job.machine)
     return pipeline.view(job.label, job.source, job.kind, job.memory_latency)
 
 
@@ -133,7 +147,11 @@ def run_jobs(pipeline: Pipeline, jobs: Sequence[Job],
                       initargs=(spec,)) as pool:
             results = pool.map(_run_job, jobs)
     for artifact in results:
-        stage = ("timing" if isinstance(artifact, TimingArtifact)
-                 else "view")
+        if isinstance(artifact, TimingArtifact):
+            stage = "timing"
+        elif isinstance(artifact, HwTimingArtifact):
+            stage = "hwtime"
+        else:
+            stage = "view"
         pipeline.store.put_memory(stage, artifact.fingerprint, artifact)
     return results

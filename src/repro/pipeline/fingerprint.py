@@ -25,11 +25,12 @@ from typing import Dict, Optional
 from ..disambig.spd_heuristic import SpDConfig
 from ..frontend.grafting import GraftConfig
 from ..machine.description import LifeMachine
+from ..machine.hw import HwMachine
 from ..passes import PassPipelineConfig
 
 __all__ = ["PIPELINE_VERSION", "fingerprint", "spd_config_key",
-           "graft_config_key", "machine_key", "latency_key",
-           "pass_pipeline_key"]
+           "graft_config_key", "machine_key", "hw_machine_key",
+           "latency_key", "pass_pipeline_key"]
 
 #: Bump whenever a toolchain change alters any stage's output or the
 #: pickled artifact layout: old on-disk entries become unreachable (and
@@ -64,6 +65,14 @@ def latency_key(machine: LifeMachine) -> Dict[str, object]:
 def machine_key(machine: LifeMachine) -> Dict[str, object]:
     """Issue width plus the full latency table."""
     return {"num_fus": machine.num_fus, "latencies": latency_key(machine)}
+
+
+def hw_machine_key(machine: HwMachine) -> Dict[str, object]:
+    """Every knob of a dynamically scheduled machine configuration."""
+    return {"num_fus": machine.num_fus, "window": machine.window,
+            "predictor": machine.predictor,
+            "replay_penalty": machine.replay_penalty,
+            "latencies": asdict(machine.latencies)}
 
 
 def pass_pipeline_key(config: PassPipelineConfig) -> Dict[str, object]:

@@ -27,7 +27,8 @@ from ..ir.tree import ExitKind
 from ..ir.values import Constant, FLOAT, Operand
 from .profile import ProfileData
 
-__all__ = ["InterpreterError", "RunResult", "Interpreter", "run_program"]
+__all__ = ["InterpreterError", "RunResult", "Interpreter", "run_program",
+           "BINARY_OPS", "UNARY_OPS"]
 
 Number = Union[int, float]
 
@@ -126,6 +127,12 @@ _UNARY = {
     Opcode.FCOS: math.cos,
     Opcode.FABS: abs,
 }
+
+#: Public aliases of the opcode semantic tables, so alternative
+#: execution engines (notably :mod:`repro.hwsim`) evaluate operations
+#: with byte-identical semantics instead of re-implementing them.
+BINARY_OPS = _BINARY
+UNARY_OPS = _UNARY
 
 
 @dataclass
@@ -266,6 +273,7 @@ class Interpreter:
         if self.steps > self.max_steps:
             raise InterpreterError(f"step limit exceeded ({self.max_steps})")
 
+        committed = 0
         for op in tree.ops:
             if not self._guard_true(regs, op.guard):
                 if self._obs_on:
@@ -273,6 +281,7 @@ class Interpreter:
                     self._obs_squashed[name] = \
                         self._obs_squashed.get(name, 0) + 1
                 continue
+            committed += 1
             opcode = op.opcode
             if opcode is Opcode.LOAD:
                 addr = self._read(regs, op.srcs[0])
@@ -315,8 +324,12 @@ class Interpreter:
                     regs[op.dest.name] = _UNARY[opcode](
                         self._read(regs, op.srcs[0]))
 
-        if mem_trace is not None and len(mem_trace) > 1:
-            self._record_alias_pairs(frame, mem_trace)
+        if mem_trace is not None:
+            # committed (guard-true) operations: the dynamic-operation
+            # count Table 6-3's per-program sizes are normalised by
+            self.profile.dynamic_operations += committed
+            if len(mem_trace) > 1:
+                self._record_alias_pairs(frame, mem_trace)
 
         for exit_index, exit_ in enumerate(tree.exits):
             if self._guard_true(regs, exit_.guard):

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
@@ -96,6 +97,54 @@ def _hermetic_cache(tmp_path_factory):
 def runner():
     """One BenchmarkRunner for the whole session (stages are cached)."""
     return BenchmarkRunner()
+
+
+# ---------------------------------------------------------------------------
+# golden files
+# ---------------------------------------------------------------------------
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite tests/golden/*.txt from the current output "
+             "instead of comparing against it")
+
+
+@pytest.fixture
+def golden(request):
+    """Compare rendered text against a pinned file in ``tests/golden/``.
+
+    ``golden("table6_1.txt", text)`` asserts byte equality with the
+    checked-in file; running pytest with ``--update-golden`` rewrites
+    the file instead (review the diff before committing!).
+    """
+    golden_dir = Path(__file__).parent / "golden"
+    update = request.config.getoption("--update-golden")
+
+    def check(filename: str, text: str) -> None:
+        path = golden_dir / filename
+        if not text.endswith("\n"):
+            text += "\n"
+        if update:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+            return
+        if not path.exists():
+            pytest.fail(
+                f"golden file {path} missing — run "
+                f"pytest --update-golden to create it")
+        expected = path.read_text()
+        if text != expected:
+            import difflib
+            diff = "".join(difflib.unified_diff(
+                expected.splitlines(keepends=True),
+                text.splitlines(keepends=True),
+                fromfile=f"golden/{filename}", tofile="current"))
+            pytest.fail(
+                f"output drifted from golden/{filename} "
+                f"(run pytest --update-golden if intentional):\n{diff}")
+
+    return check
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,78 @@
+"""Unit tests for the memory-dependence predictors."""
+
+import pytest
+
+from repro.hwsim import (AlwaysSpeculate, NeverSpeculate, StoreSetPredictor,
+                         make_predictor)
+
+LOAD = ("main", "t0", 4)
+STORE = ("main", "t0", 3)
+OTHER_STORE = ("main", "t1", 9)
+OTHER_LOAD = ("main", "t1", 11)
+
+
+class TestFixedPolicies:
+    def test_always_bypasses(self):
+        predictor = AlwaysSpeculate()
+        assert predictor.may_bypass(LOAD, STORE)
+        predictor.train(LOAD, STORE)  # training is a no-op
+        assert predictor.may_bypass(LOAD, STORE)
+
+    def test_never_bypasses(self):
+        predictor = NeverSpeculate()
+        assert not predictor.may_bypass(LOAD, STORE)
+
+    def test_state_key_mirrors_decision(self):
+        assert AlwaysSpeculate().state_key(LOAD, STORE) is True
+        assert NeverSpeculate().state_key(LOAD, STORE) is False
+
+
+class TestStoreSet:
+    def test_bypasses_until_trained(self):
+        predictor = StoreSetPredictor()
+        assert predictor.may_bypass(LOAD, STORE)
+        predictor.train(LOAD, STORE)
+        assert not predictor.may_bypass(LOAD, STORE)
+        assert predictor.violations_trained == 1
+
+    def test_unrelated_pairs_still_bypass(self):
+        predictor = StoreSetPredictor()
+        predictor.train(LOAD, STORE)
+        assert predictor.may_bypass(LOAD, OTHER_STORE)
+        assert predictor.may_bypass(OTHER_LOAD, STORE)
+
+    def test_sets_merge_transitively(self):
+        predictor = StoreSetPredictor()
+        predictor.train(LOAD, STORE)
+        predictor.train(LOAD, OTHER_STORE)
+        # both stores now share the load's set: the load waits for both
+        assert not predictor.may_bypass(LOAD, STORE)
+        assert not predictor.may_bypass(LOAD, OTHER_STORE)
+
+    def test_repeated_training_is_stable(self):
+        predictor = StoreSetPredictor()
+        for _ in range(5):
+            predictor.train(LOAD, STORE)
+        assert predictor.violations_trained == 5
+        assert not predictor.may_bypass(LOAD, STORE)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name,cls", [
+        ("always", AlwaysSpeculate),
+        ("never", NeverSpeculate),
+        ("store-set", StoreSetPredictor),
+    ])
+    def test_make_predictor(self, name, cls):
+        predictor = make_predictor(name)
+        assert isinstance(predictor, cls)
+        assert predictor.name == name
+
+    def test_oracle_placeholder_never_bypasses(self):
+        # the simulator special-cases the oracle; the placeholder object
+        # must at least be safe (never bypass) if consulted anyway
+        assert not make_predictor("oracle").may_bypass(LOAD, STORE)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown predictor"):
+            make_predictor("magic8ball")

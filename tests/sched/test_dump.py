@@ -44,3 +44,40 @@ class TestFormatSchedule:
         graph = build_dependence_graph(builder.tree)
         text = dump_tree_schedule(graph, machine(2, 2))
         assert f"[!{cond.name}]" in text
+
+
+class TestFormattingEdgeCases:
+    def test_cells_truncate_to_width(self):
+        graph = sample_graph()
+        mach = machine(2, 2)
+        schedule = list_schedule(graph, mach)
+        text = format_schedule(graph, schedule, width=10)
+        for line in text.splitlines()[2:-1]:
+            # "cycle" gutter (7 chars) + 2 slots of 10
+            assert len(line) <= 7 + 2 * 10
+
+    def test_empty_schedule_renders_header_and_footer(self):
+        from repro.sched.schedule import Schedule
+        graph = sample_graph()
+        empty = Schedule(issue=[], completion=[], path_times=[], num_fus=2)
+        text = format_schedule(graph, empty)
+        assert "slot0" in text
+        assert "utilization" in text
+
+    def test_single_op_tree(self):
+        builder = TreeBuilder("tiny")
+        builder.halt()
+        graph = build_dependence_graph(builder.tree)
+        text = dump_tree_schedule(graph, machine(1, 2))
+        assert "branch:halt" in text
+        assert "length" in text
+
+    def test_every_cycle_row_present(self):
+        graph = sample_graph()
+        mach = machine(1, 6)
+        schedule = list_schedule(graph, mach)
+        text = format_schedule(graph, schedule)
+        body = text.splitlines()[2:-1]
+        assert len(body) == max(schedule.issue) + 1
+        for cycle, line in enumerate(body):
+            assert line.startswith(f"{cycle:5d}")

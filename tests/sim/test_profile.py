@@ -53,3 +53,35 @@ class TestProfileData:
         profile = ProfileData()
         stats = profile.pair(("f", "t", 1, 2))
         assert stats.executed == 0 and stats.superfluous
+
+
+class TestProfileIntegration:
+    """Profiles produced by real interpreter runs."""
+
+    def test_example22_alias_probability(self, example22_program):
+        from repro.sim import run_program
+        result = run_program(example22_program.copy())
+        profile = result.profile
+        # exactly one pair aliases, and only on iteration i = 4:
+        # probability 1/100 (the paper's Example 2-2 headline number)
+        probs = sorted(stats.alias_probability
+                       for stats in profile.pair_stats.values()
+                       if stats.aliased)
+        assert probs and probs[0] == pytest.approx(0.01)
+
+    def test_dynamic_operations_counted(self, example22_result):
+        assert example22_result.profile.dynamic_operations > 0
+
+    def test_path_probabilities_sum_to_one(self, example22_result):
+        profile = example22_result.profile
+        for key, counts in profile.exit_counts.items():
+            probs = profile.path_probabilities(key, len(counts))
+            assert sum(probs) == pytest.approx(1.0)
+            assert all(p >= 0 for p in probs)
+
+    def test_superfluous_pairs_dominate(self, example22_result):
+        """Table 6-2's finding in miniature: most profiled pairs never
+        alias."""
+        stats = example22_result.profile.pair_stats.values()
+        superfluous = sum(1 for s in stats if s.superfluous)
+        assert stats and superfluous >= len(stats) / 2
