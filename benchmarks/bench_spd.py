@@ -1,23 +1,27 @@
-"""Perf-trajectory snapshot: ``BENCH_spd.json``.
+"""Perf-trajectory snapshot: ``BENCH_spd.json`` + ``perf/history.jsonl``.
 
 Runs every built-in benchmark through the paper's full experimental
-flow (compile + profile, all four disambiguators, list-scheduled
-timing) and records per-benchmark execution cycles *and* pipeline
-wall-times per stage, plus selected work counters from ``repro.obs``.
-Each benchmark is measured twice against an isolated artifact store:
-a **cold** pass that computes every stage, then a **warm** pass served
-from the disk cache — the cold/warm ratio tracks what the artifact
-store buys.  A third request rebuilds the SPEC view with the default
-cleanup pipeline (constfold, copyprop, dce) and records the post-DCE
-code size plus per-pass op deltas.  The resulting JSON seeds the
-repository's performance
-trajectory: successive PRs can diff cycle counts (model behaviour) and
-wall-times (toolchain speed) against it.
+flow via the canonical :func:`repro.perf.measure.measure_benchmark`
+measurement (cold pipeline pass, warm cache replay, cleanup rebuild —
+the same flow ``repro perf check`` gates against) and records
+per-benchmark execution cycles, per-stage wall-times, stage-span
+percentile summaries and selected work counters.
+
+Two outputs:
+
+* ``BENCH_spd.json`` — the latest snapshot (schema
+  ``repro.bench_spd/3``), overwritten each run and diffed
+  release-over-release;
+* ``perf/history.jsonl`` — an append-only trajectory record (schema
+  ``repro.perf_history/1``: git sha, timestamp, host, wall-times,
+  counters) that regression tooling reads with
+  ``repro perf check --against perf/history.jsonl``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_spd.py [--out BENCH_spd.json]
         [--fus 5] [--memory 6] [--names fft,perm,...]
+        [--history perf/history.jsonl | --no-history]
 """
 
 from __future__ import annotations
@@ -30,103 +34,15 @@ import tempfile
 import time
 from typing import Dict, List, Optional
 
-from repro import obs
-from repro.bench.runner import BenchmarkRunner
 from repro.bench.suite import SUITE
-from repro.disambig.pipeline import Disambiguator
 from repro.machine.description import machine
-from repro.passes import DEFAULT_CLEANUP, PassPipelineConfig
-from repro.pipeline.store import ArtifactStore
+from repro.perf.history import (DEFAULT_HISTORY_PATH, append_record,
+                                make_record)
+from repro.perf.measure import measure_benchmark
 
-#: Counters worth tracking release-over-release (work, not wall-time).
-_TRACKED_COUNTERS = (
-    "depgraph.builds",
-    "spd.gain_evaluations",
-    "timing.infinite_evals",
-    "sched.trees_scheduled",
-    "sim.steps",
-)
-
-DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_spd.json"
-
-
-def snapshot_benchmark(name: str, num_fus: int,
-                       memory_latency: int,
-                       cache_dir: str) -> Dict[str, object]:
-    """One benchmark's cycles, SpD stats and per-stage wall-times.
-
-    The cold pass computes every pipeline stage into an empty artifact
-    store; the warm pass replays the same requests through a fresh
-    runner backed by the now-populated disk cache.
-    """
-    mach = machine(num_fus, memory_latency)
-    runner = BenchmarkRunner(store=ArtifactStore(cache_dir))
-    wall_ms: Dict[str, float] = {}
-    cycles: Dict[str, int] = {}
-
-    with obs.tracing() as tracer:
-        started = time.perf_counter()
-        t0 = started
-        compiled = runner.compiled(name)
-        wall_ms["compile_profile"] = (time.perf_counter() - t0) * 1e3
-
-        t0 = time.perf_counter()
-        for kind in Disambiguator:
-            runner.view(name, kind, memory_latency)
-        wall_ms["disambiguate"] = (time.perf_counter() - t0) * 1e3
-
-        t0 = time.perf_counter()
-        for kind in Disambiguator:
-            cycles[kind.value] = runner.timing(name, kind, mach).cycles
-        wall_ms["timing"] = (time.perf_counter() - t0) * 1e3
-        wall_ms["total"] = (time.perf_counter() - started) * 1e3
-
-        spec = runner.view(name, Disambiguator.SPEC, memory_latency)
-        counters = {key: tracer.metrics.counters[key]
-                    for key in _TRACKED_COUNTERS
-                    if key in tracer.metrics.counters}
-
-    # warm pass: fresh runner, same disk store — everything is a cache hit
-    warm_runner = BenchmarkRunner(store=ArtifactStore(cache_dir))
-    t0 = time.perf_counter()
-    warm_runner.compiled(name)
-    for kind in Disambiguator:
-        warm_runner.view(name, kind, memory_latency)
-        warm_runner.timing(name, kind, mach)
-    wall_ms["warm_total"] = (time.perf_counter() - t0) * 1e3
-
-    # cleanup pass: rebuild the SPEC view with the default cleanup
-    # pipeline (same store, so compile/profile are cache hits) and
-    # record the post-DCE code size plus per-pass op deltas
-    clean_runner = BenchmarkRunner(
-        store=ArtifactStore(cache_dir),
-        passes=PassPipelineConfig(cleanup=DEFAULT_CLEANUP))
-    spec_clean = clean_runner.view(name, Disambiguator.SPEC, memory_latency)
-    cleanup = {
-        "code_size": spec_clean.code_size(),
-        "ops_removed": spec.code_size() - spec_clean.code_size(),
-        "pass_deltas": {report["pass"]: report["delta"]
-                        for report in spec_clean.pass_stats},
-    }
-
-    naive = cycles[Disambiguator.NAIVE.value]
-    return {
-        "ops": compiled.base_size,
-        "cycles": cycles,
-        "speedup_over_naive": {
-            kind.value: round(naive / cycles[kind.value] - 1.0, 6)
-            for kind in Disambiguator if cycles[kind.value]
-        },
-        "spd_applications": {
-            arc.value.split("_")[1]: count
-            for arc, count in spec.spd_counts().items()
-        },
-        "code_growth": round(runner.code_growth(name, memory_latency), 6),
-        "spec_code_size": spec.code_size(),
-        "cleanup": cleanup,
-        "wall_ms": {stage: round(ms, 2) for stage, ms in wall_ms.items()},
-        "counters": counters,
-    }
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_spd.json"
+DEFAULT_HISTORY = REPO_ROOT / DEFAULT_HISTORY_PATH
 
 
 def build_snapshot(names: List[str], num_fus: int,
@@ -137,12 +53,12 @@ def build_snapshot(names: List[str], num_fus: int,
         print(f"  {name} ...", end="", flush=True)
         with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") \
                 as cache_dir:
-            benchmarks[name] = snapshot_benchmark(name, num_fus,
-                                                  memory_latency, cache_dir)
+            benchmarks[name] = measure_benchmark(name, num_fus,
+                                                 memory_latency, cache_dir)
         wall = benchmarks[name]["wall_ms"]
         print(f" {wall['total']:.0f}ms cold, {wall['warm_total']:.0f}ms warm")
     return {
-        "schema": "repro.bench_spd/2",
+        "schema": "repro.bench_spd/3",
         "machine": machine(num_fus, memory_latency).name,
         "num_fus": num_fus,
         "memory_latency": memory_latency,
@@ -159,6 +75,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--memory", type=int, choices=(2, 6), default=6)
     parser.add_argument("--names", default=None,
                         help="comma-separated benchmark subset")
+    parser.add_argument("--history", default=str(DEFAULT_HISTORY),
+                        metavar="PATH",
+                        help="append a trajectory record to this JSONL "
+                             "file (default: perf/history.jsonl)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip the perf/history.jsonl append")
     args = parser.parse_args(argv)
 
     names = (args.names.split(",") if args.names else list(SUITE))
@@ -171,9 +93,16 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"{machine(args.fus, args.memory).name}")
     snapshot = build_snapshot(names, args.fus, args.memory)
     with open(args.out, "w") as handle:
-        json.dump(snapshot, handle, indent=2)
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {args.out} ({snapshot['total_wall_s']}s)")
+
+    if not args.no_history:
+        record = make_record(snapshot["machine"], args.fus, args.memory,
+                             snapshot["benchmarks"])
+        append_record(args.history, record)
+        print(f"appended history record to {args.history} "
+              f"(sha {record['git_sha'][:12]})")
     return 0
 
 

@@ -93,8 +93,12 @@ def _pass_config_from(args) -> PassPipelineConfig:
 
 
 def _write_json(path: str, payload: dict) -> int:
-    """Write *payload* to *path* ('-' = stdout); return an exit status."""
-    text = json.dumps(payload, indent=2)
+    """Write *payload* to *path* ('-' = stdout); return an exit status.
+
+    Keys are sorted so exports are byte-stable across runs — metrics
+    merged back from multiprocessing workers arrive in pool-scheduling
+    order, and that order must not leak into the serialised output."""
+    text = json.dumps(payload, indent=2, sort_keys=True)
     if path == "-":
         print(text)
         return 0
@@ -185,13 +189,26 @@ def _run_analysis(args, program, label: str, reference=None,
     mach = _machine_from(args)
     spd_config = _spd_config_from(args)
     passes = _pass_config_from(args)
-    if args.json:
-        with obs.tracing() as tracer:
-            data = _analyze(program, mach, label, spd_config, reference,
-                            stages, passes)
-        payload = {"schema": "repro.analysis/1", **data,
-                   **tracer.to_dict()}
-        return _write_json(args.json, payload)
+    profiling = getattr(args, "profile", False)
+    if args.json or profiling:
+        if profiling:
+            obs.enable_profiling()
+        try:
+            with obs.tracing() as tracer:
+                data = _analyze(program, mach, label, spd_config, reference,
+                                stages, passes)
+        finally:
+            obs.disable_profiling()
+        if profiling:
+            tables = obs.format_profile_tables(tracer.root)
+            if tables:
+                print()
+                print(tables)
+        if args.json:
+            payload = {"schema": "repro.analysis/1", **data,
+                       **tracer.to_dict()}
+            return _write_json(args.json, payload)
+        return 0
     _analyze(program, mach, label, spd_config, reference, stages, passes)
     return 0
 
@@ -227,8 +244,48 @@ def _cmd_bench(args) -> int:
                          reference=compiled.reference, stages=stages)
 
 
+def _write_text(path: str, text: str) -> int:
+    """Write raw *text* to *path* ('-' = stdout); return an exit status."""
+    if path == "-":
+        sys.stdout.write(text)
+        return 0
+    try:
+        with open(path, "w") as handle:
+            handle.write(text)
+    except OSError as exc:
+        print(f"cannot write --out output: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _print_histograms(tracer) -> None:
+    """Percentile summaries of the span-duration histograms."""
+    spans = {name: summary
+             for name, summary in tracer.metrics.histograms.items()
+             if name.startswith("span.") and summary.count > 1}
+    if not spans:
+        return
+    print()
+    print("histograms (ms):")
+    width = max(len(name) for name in spans)
+    print(f"  {'':<{width}s}  {'count':>7} {'mean':>9} {'p50':>9} "
+          f"{'p95':>9} {'p99':>9}")
+    for name in sorted(spans):
+        summary = spans[name]
+        print(f"  {name:<{width}s}  {summary.count:>7d} "
+              f"{summary.mean:>9.2f} {summary.percentile(50):>9.2f} "
+              f"{summary.percentile(95):>9.2f} "
+              f"{summary.percentile(99):>9.2f}")
+
+
 def _cmd_trace(args) -> int:
-    """Run the full pipeline under tracing; show the per-pass tree."""
+    """Run the full cached pipeline under tracing; show the per-pass
+    tree, or export it (``--format chrome`` / ``--format folded``)."""
+    from .machine.hw import hw_machine
+    from .pipeline.core import Pipeline
+    from .pipeline.executor import HwTimingJob, TimingJob
+    from .pipeline.store import ArtifactStore
+
     if args.target in SUITE:
         label, source = args.target, SUITE[args.target].source
     else:
@@ -239,23 +296,50 @@ def _cmd_trace(args) -> int:
                   f"a readable file: {error}", file=sys.stderr)
             return 2
     mach = _machine_from(args)
-    spd_config = _spd_config_from(args)
-    passes = _pass_config_from(args)
-    with obs.tracing() as tracer:
-        with obs.span("pipeline", program=label):
-            program = compile_source(source)
-            if args.graft:
-                program, _stats = graft_program(program)
-            reference = run_program(program)
-            for kind in Disambiguator:
-                with obs.span(f"analyze.{kind.value}"):
-                    view = disambiguate(program, kind,
-                                        profile=reference.profile,
-                                        machine=mach, spd_config=spd_config,
-                                        passes=passes)
-                    evaluate_program(view.program, view.graphs, mach,
-                                     reference.profile)
+    # a fresh memory-only store: every stage is a cold miss, so the
+    # trace shows the real pipeline (a shared disk cache would hide
+    # stages behind hits)
+    pipeline = Pipeline(spd_config=_spd_config_from(args),
+                        graft=GraftConfig() if args.graft else None,
+                        store=ArtifactStore(None),
+                        passes=_pass_config_from(args))
+    hw_mach = (hw_machine(4, mach.memory_latency)
+               if args.hw else None)
+    if args.profile:
+        obs.enable_profiling()
+    try:
+        with obs.tracing() as tracer:
+            with obs.span("pipeline", program=label):
+                if args.jobs > 1:
+                    # fan the timing matrix out first: worker subprocesses
+                    # record their own spans, merged under
+                    # pipeline.parallel with per-pid lanes
+                    jobs = [TimingJob(label, source, kind, mach)
+                            for kind in Disambiguator]
+                    if hw_mach is not None:
+                        jobs.append(HwTimingJob(label, source,
+                                                Disambiguator.SPEC, hw_mach))
+                    pipeline.prefetch(jobs, args.jobs)
+                for kind in Disambiguator:
+                    with obs.span(f"analyze.{kind.value}"):
+                        pipeline.view(label, source, kind,
+                                      mach.memory_latency)
+                        pipeline.timing(label, source, kind, mach)
+                if hw_mach is not None:
+                    pipeline.hw_timing(label, source, Disambiguator.SPEC,
+                                       hw_mach)
+    finally:
+        obs.disable_profiling()
     root = tracer.finish()
+
+    if args.format == "chrome":
+        payload = obs.to_chrome_trace(root, process_name=f"repro {label}")
+        return _write_text(args.out,
+                           json.dumps(payload, indent=2, sort_keys=True)
+                           + "\n")
+    if args.format == "folded":
+        return _write_text(args.out, obs.to_folded_stacks(root))
+
     print(f"trace: {label} ({mach.name})")
     print(obs.format_span_tree(root))
     counters = tracer.metrics.counters
@@ -267,6 +351,12 @@ def _cmd_trace(args) -> int:
             value = counters[name]
             rendered = f"{value:g}" if isinstance(value, float) else str(value)
             print(f"  {name:<{width}s}  {rendered}")
+    _print_histograms(tracer)
+    if args.profile:
+        tables = obs.format_profile_tables(root)
+        if tables:
+            print()
+            print(tables)
     if args.json:
         payload = {"schema": "repro.trace/1", "program": label,
                    "machine": _machine_dict(mach), **tracer.to_dict()}
@@ -386,6 +476,75 @@ def _cmd_hwcompare(args) -> int:
     return 0
 
 
+def _cmd_perf_check(args) -> int:
+    """Measure benchmarks, diff against a baseline, gate on regression
+    (see docs/observability.md, "Performance lab")."""
+    from .perf import check as perf_check
+    from .perf.history import append_record, make_record
+    from .machine.description import machine as make_machine
+
+    names = (args.names.split(",") if args.names else list(SUITE))
+    unknown = [name for name in names if name not in SUITE]
+    if unknown:
+        print(f"unknown benchmarks: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    stages = tuple(s for s in args.stages.split(",") if s)
+    try:
+        result = perf_check.run_check(
+            names, args.against, num_fus=args.fus,
+            memory_latency=args.memory, threshold=args.threshold,
+            min_ms=args.min_ms, stages=stages,
+            progress=lambda msg: print(f"  {msg}"))
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"cannot load baseline {args.against!r}: {error}",
+              file=sys.stderr)
+        return 2
+    print(result.render())
+    if args.record:
+        mach = make_machine(args.fus, args.memory)
+        append_record(args.record,
+                      make_record(mach.name, args.fus, args.memory,
+                                  result.measured))
+        print(f"recorded measurement to {args.record}")
+    if args.json:
+        status = _write_json(args.json, {"schema": "repro.perf_check/1",
+                                         **result.to_dict()})
+        if status:
+            return status
+    return 0 if result.ok else 1
+
+
+def _cmd_perf_history(args) -> int:
+    """Render the append-only perf trajectory (perf/history.jsonl)."""
+    from .perf.history import load_records
+
+    records = load_records(args.path)
+    if not records:
+        print(f"no history records in {args.path}", file=sys.stderr)
+        return 2
+    shown = records[-args.limit:] if args.limit > 0 else records
+    print(f"perf history: {args.path} ({len(records)} records, "
+          f"showing {len(shown)})")
+    print(f"  {'timestamp':<20} {'git sha':<12} {'machine':<16} "
+          f"{'benchs':>6} {'cold ms':>10} {'warm ms':>10}")
+    for record in shown:
+        benchmarks = record.get("benchmarks", {})
+        cold = sum(b.get("wall_ms", {}).get("total", 0)
+                   for b in benchmarks.values())
+        warm = sum(b.get("wall_ms", {}).get("warm_total", 0)
+                   for b in benchmarks.values())
+        mach = record.get("machine", {})
+        print(f"  {record.get('timestamp', '?'):<20} "
+              f"{str(record.get('git_sha', '?'))[:12]:<12} "
+              f"{mach.get('name', '?'):<16} {len(benchmarks):>6d} "
+              f"{cold:>10.0f} {warm:>10.0f}")
+    if args.json:
+        return _write_json(args.json, {"schema": "repro.perf_history/1",
+                                       "path": str(args.path),
+                                       "records": shown})
+    return 0
+
+
 def _cmd_report(args) -> int:
     from .experiments import (ablation, figure6_2, figure6_3, figure6_4,
                               table6_1, table6_2, table6_3)
@@ -417,20 +576,34 @@ def _cmd_report(args) -> int:
             if args.json:
                 results[which] = result.to_dict()
 
-    if args.json:
+    if args.json or args.profile:
         # metrics expose pipeline cache effectiveness: a warm run shows
         # pipeline.cache_hits.disk instead of pipeline.cache_misses
-        with obs.tracing() as tracer:
-            produce()
-        return _write_json(args.json, {"schema": "repro.report/1",
-                                       "results": results,
-                                       "metrics":
-                                           tracer.metrics.snapshot()})
+        if args.profile:
+            obs.enable_profiling()
+        try:
+            with obs.tracing() as tracer:
+                produce()
+        finally:
+            obs.disable_profiling()
+        if args.profile:
+            tables = obs.format_profile_tables(tracer.root)
+            if tables:
+                print(tables)
+                print()
+        if args.json:
+            return _write_json(args.json, {"schema": "repro.report/1",
+                                           "results": results,
+                                           "metrics":
+                                               tracer.metrics.snapshot()})
+        return 0
     produce()
     return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .perf import check as perf_defaults
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Speculative Disambiguation (ISCA 1994) reproduction")
@@ -476,6 +649,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the timing matrix "
                             "(default 1 = serial; identical output)")
 
+    def add_profile_flag(p):
+        p.add_argument("--profile", action="store_true",
+                       help="run cProfile per pipeline stage; top hot-"
+                            "function tables land in the trace/--json "
+                            "output (docs/observability.md)")
+
     p_run = sub.add_parser("run", help="execute a tinyc program")
     p_run.add_argument("program", help="tinyc source file, or - for stdin")
     p_run.set_defaults(func=_cmd_run)
@@ -497,6 +676,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_machine_flags(p_bench)
     add_json_flag(p_bench)
     add_jobs_flag(p_bench)
+    add_profile_flag(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 
     p_trace = sub.add_parser(
@@ -505,6 +685,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="built-in benchmark name or tinyc source file")
     add_machine_flags(p_trace)
     add_json_flag(p_trace)
+    add_jobs_flag(p_trace)
+    add_profile_flag(p_trace)
+    p_trace.add_argument("--format", choices=("text", "chrome", "folded"),
+                         default="text",
+                         help="text tree (default), Chrome trace-event "
+                              "JSON for Perfetto/chrome://tracing, or "
+                              "folded stacks for flamegraph tools")
+    p_trace.add_argument("--out", metavar="FILE", default="-",
+                         help="destination for --format chrome/folded "
+                              "(default: stdout)")
+    p_trace.add_argument("--hw", action="store_true",
+                         help="also run the hwtime stage (SPEC view on a "
+                              "4-wide dynamically scheduled machine) so "
+                              "all five pipeline stages appear")
     p_trace.set_defaults(func=_cmd_trace)
 
     p_sched = sub.add_parser(
@@ -571,7 +765,51 @@ def build_parser() -> argparse.ArgumentParser:
     add_spd_flags(p_report)
     add_json_flag(p_report)
     add_jobs_flag(p_report)
+    add_profile_flag(p_report)
     p_report.set_defaults(func=_cmd_report)
+
+    p_perf = sub.add_parser(
+        "perf", help="performance lab: regression gate and bench history")
+    perf_sub = p_perf.add_subparsers(dest="perf_command", required=True)
+
+    p_check = perf_sub.add_parser(
+        "check", help="re-measure benchmarks and diff against a baseline")
+    p_check.add_argument("--against", required=True, metavar="BASELINE",
+                         help="baseline file: BENCH_spd.json-style snapshot "
+                              "or perf/history.jsonl trajectory (latest "
+                              "record wins)")
+    p_check.add_argument("--names", default=None,
+                         help="comma-separated benchmark subset "
+                              "(default: all built-ins)")
+    p_check.add_argument("--threshold", type=float,
+                         default=perf_defaults.DEFAULT_THRESHOLD,
+                         help="relative wall-time growth tolerated before "
+                              "a stage regresses (default %(default)s)")
+    p_check.add_argument("--min-ms", type=float,
+                         default=perf_defaults.DEFAULT_MIN_MS,
+                         help="absolute floor: deltas below this many ms "
+                              "never regress (default %(default)s)")
+    p_check.add_argument("--stages",
+                         default=",".join(perf_defaults.DEFAULT_STAGES),
+                         help="comma-separated wall_ms stages to gate "
+                              "(default %(default)s)")
+    p_check.add_argument("--fus", type=int, default=5)
+    p_check.add_argument("--memory", type=int, choices=(2, 6), default=6)
+    p_check.add_argument("--record", metavar="PATH", default=None,
+                         help="also append this measurement to a history "
+                              "JSONL file")
+    add_json_flag(p_check)
+    p_check.set_defaults(func=_cmd_perf_check)
+
+    p_history = perf_sub.add_parser(
+        "history", help="render the append-only perf trajectory")
+    p_history.add_argument("--path", default="perf/history.jsonl",
+                           help="history file (default %(default)s)")
+    p_history.add_argument("--limit", type=int, default=10, metavar="N",
+                           help="show only the last N records "
+                                "(0 = all, default %(default)s)")
+    add_json_flag(p_history)
+    p_history.set_defaults(func=_cmd_perf_history)
 
     return parser
 

@@ -147,7 +147,8 @@ class HwSimulator(Interpreter):
                 obs.incr("hwsim.memo_hits", stats.memo_hits)
                 obs.incr("hwsim.memo_misses", stats.memo_misses)
                 span.annotate(cycles=self.cycles, steps=base.steps,
-                              squashes=stats.squashes)
+                              squashes=stats.squashes,
+                              machine_config=self.machine.to_dict())
         return HwRunResult(base.output, base.profile, base.steps,
                            base.return_value, self.cycles, timing)
 
@@ -184,7 +185,10 @@ class HwSimulator(Interpreter):
         self._account(frame, tree, result)
 
         exit_, exit_index = self._commit(frame, tree, events, result)
-        self.cycles += result.path_times[exit_index]
+        tree_cycles = result.path_times[exit_index]
+        self.cycles += tree_cycles
+        if obs.is_enabled():
+            obs.observe("hwsim.tree_cycles", tree_cycles)
         return exit_, exit_index
 
     def _op_key(self, frame, tree, node: int) -> OpKey:

@@ -76,6 +76,18 @@ class HwMachine:
     def memory_latency(self) -> int:
         return self.latencies.memory
 
+    def to_dict(self) -> dict:
+        """Serializable configuration summary (span annotations, perf
+        records); ``None`` width/window render as ``"inf"``."""
+        return {
+            "name": self.name,
+            "num_fus": "inf" if self.num_fus is None else self.num_fus,
+            "window": "inf" if self.window is None else self.window,
+            "predictor": self.predictor,
+            "replay_penalty": self.replay_penalty,
+            "memory_latency": self.memory_latency,
+        }
+
     def with_fus(self, num_fus: Optional[int]) -> "HwMachine":
         return replace(self, num_fus=num_fus, name="")
 

@@ -44,11 +44,17 @@ from typing import Iterator, Optional
 
 from .metrics import HistogramSummary, MetricsRegistry
 from .trace import NULL_SPAN, NullSpan, Span, Tracer, format_span_tree
+from .export import to_chrome_trace, to_folded_stacks
+from .profile import (disable_profiling, enable_profiling,
+                      format_profile_tables, is_profiling, profile_span)
 
 __all__ = [
     "Span", "Tracer", "NullSpan", "MetricsRegistry", "HistogramSummary",
     "format_span_tree", "tracing", "enable", "disable", "is_enabled",
     "current_tracer", "span", "incr", "annotate", "observe", "set_gauge",
+    "to_chrome_trace", "to_folded_stacks",
+    "enable_profiling", "disable_profiling", "is_profiling",
+    "profile_span", "format_profile_tables",
 ]
 
 #: The installed tracer; ``None`` means tracing is disabled (default).

@@ -1,0 +1,143 @@
+"""Span-tree exporters: Chrome trace-event JSON and folded stacks.
+
+Two interchange formats for the :class:`~repro.obs.trace.Span` trees the
+tracer records:
+
+* :func:`to_chrome_trace` — the Trace Event Format consumed by
+  Perfetto / ``chrome://tracing``.  Every span becomes one complete
+  (``"ph": "X"``) event with microsecond ``ts``/``dur``; spans recorded
+  in worker processes (subtrees annotated with ``worker_pid`` by
+  :func:`repro.pipeline.executor.run_jobs`) are placed on their own
+  ``pid`` lane, so a parallel ``--jobs`` run renders as one coherent
+  multi-process timeline.
+* :func:`to_folded_stacks` — the semicolon-separated stack / weight
+  text format flamegraph tools consume (``flamegraph.pl``, speedscope,
+  inferno).  Weights are *self* microseconds, so a stack's rendered
+  width equals its inclusive wall-time.
+
+Both exporters are pure functions over a finished span tree; they never
+touch the active tracer.  Timestamps are re-based on the earliest span
+start in the tree, so exports are non-negative regardless of which
+process recorded which span.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .trace import Span
+
+__all__ = ["to_chrome_trace", "to_folded_stacks", "worker_pid_of"]
+
+#: Synthetic pid for spans recorded in the driving process.  Chrome
+#: trace viewers group lanes by pid; the parent is always lane 1 and
+#: worker subprocesses keep their real OS pids (annotated on their
+#: root spans), which are disjoint from 1 in practice.
+MAIN_PID = 1
+
+#: Attribute carrying the recording process of a merged worker subtree
+#: (set by the pipeline executor when it grafts worker traces into the
+#: parent tree).
+WORKER_PID_ATTR = "worker_pid"
+
+
+def worker_pid_of(span: Span) -> Optional[int]:
+    """The worker pid a span subtree was recorded in, if annotated."""
+    pid = span.attributes.get(WORKER_PID_ATTR)
+    return int(pid) if isinstance(pid, (int, float)) else None
+
+
+def _earliest_start(root: Span) -> float:
+    return min(span.start_s for span in root.walk())
+
+
+def _span_args(span: Span) -> Dict[str, object]:
+    args: Dict[str, object] = {}
+    for key, value in sorted(span.attributes.items()):
+        args[key] = value
+    for key, value in sorted(span.counters.items()):
+        args[f"counter.{key}"] = value
+    return args
+
+
+def to_chrome_trace(root: Span, process_name: str = "repro") -> Dict[str, object]:
+    """Serialise a span tree as a Chrome trace-event JSON object.
+
+    The returned dict has the standard ``{"traceEvents": [...],
+    "displayTimeUnit": "ms"}`` envelope.  Each span is one complete
+    event::
+
+        {"name": ..., "cat": "span", "ph": "X",
+         "ts": <µs>, "dur": <µs>, "pid": <lane>, "tid": 1,
+         "args": {attributes..., "counter.<name>": value...}}
+
+    plus one ``"ph": "M"`` ``process_name`` metadata event per distinct
+    pid lane.  ``ts`` is relative to the earliest span start anywhere
+    in the tree (workers included), so events are always >= 0.
+    """
+    origin = _earliest_start(root)
+    events: List[Dict[str, object]] = []
+    lanes: Dict[int, str] = {}
+
+    def emit(span: Span, pid: int) -> None:
+        worker = worker_pid_of(span)
+        if worker is not None:
+            pid = worker
+            lanes.setdefault(pid, f"{process_name} worker {pid}")
+        event: Dict[str, object] = {
+            "name": span.name,
+            "cat": "span",
+            "ph": "X",
+            "ts": round((span.start_s - origin) * 1e6, 3),
+            "dur": round(max(span.duration_s, 0.0) * 1e6, 3),
+            "pid": pid,
+            "tid": 1,
+        }
+        args = _span_args(span)
+        if args:
+            event["args"] = args
+        events.append(event)
+        for child in span.children:
+            emit(child, pid)
+
+    lanes[MAIN_PID] = process_name
+    emit(root, MAIN_PID)
+
+    metadata = [
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": 1,
+         "args": {"name": label}}
+        for pid, label in sorted(lanes.items())
+    ]
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def to_folded_stacks(root: Span) -> str:
+    """Render a span tree in folded-stacks text form.
+
+    One line per span with non-zero *self* time::
+
+        trace;pipeline.compile;frontend.parse 8123
+
+    Frames are joined by ``;`` root-first and weighted by self
+    microseconds (inclusive duration minus the children's), so a
+    flamegraph built from the output reproduces the tree's inclusive
+    widths exactly.  Worker subtrees are prefixed with a
+    ``worker-<pid>`` frame to keep their stacks distinct.
+    """
+    lines: List[str] = []
+
+    def emit(span: Span, stack: str) -> None:
+        worker = worker_pid_of(span)
+        frame = span.name.replace(";", "_").replace(" ", "_")
+        if worker is not None:
+            frame = f"worker-{worker};{frame}"
+        path = f"{stack};{frame}" if stack else frame
+        child_s = sum(max(child.duration_s, 0.0) for child in span.children)
+        self_us = int(round(max(span.duration_s - child_s, 0.0) * 1e6))
+        if self_us > 0:
+            lines.append(f"{path} {self_us}")
+        for child in span.children:
+            emit(child, path)
+
+    emit(root, "")
+    return "\n".join(lines) + ("\n" if lines else "")

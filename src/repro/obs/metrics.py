@@ -9,28 +9,46 @@ frequencies, alias counts).  Three metric families:
 * **gauges** — last-write-wins values (``set_gauge``), e.g. the cycle
   count of the most recent evaluation;
 * **histograms** — summary statistics of observed samples (``observe``):
-  count, total, min, max and mean.  Span durations land here under
-  ``span.<name>``, giving a per-stage wall-time breakdown for free.
+  count, total, min, max, mean and reservoir-estimated p50/p95/p99.
+  Span durations land here under ``span.<name>``, giving a per-stage
+  wall-time breakdown for free.
 
-Snapshots are plain dicts, ready for JSON export.
+Snapshots are plain dicts with sorted keys, ready for byte-stable JSON
+export.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 __all__ = ["HistogramSummary", "MetricsRegistry"]
+
+#: Bounded reservoir size per histogram.  When a series outgrows the
+#: cap the reservoir decimates itself (keep every other sample, double
+#: the sampling stride), so memory stays O(cap) while the kept samples
+#: remain an evenly spaced subsample of the whole series.
+RESERVOIR_CAP = 512
 
 
 @dataclass
 class HistogramSummary:
-    """Streaming summary of one observed series."""
+    """Streaming summary of one observed series.
+
+    Exact count/total/min/max/mean plus a bounded deterministic
+    reservoir for percentile estimates.  The reservoir keeps every
+    ``stride``-th sample; once it reaches :data:`RESERVOIR_CAP` it
+    drops every other kept sample and doubles the stride, so long
+    series stay evenly represented without unbounded memory.
+    """
 
     count: int = 0
     total: float = 0.0
     min: float = float("inf")
     max: float = float("-inf")
+    samples: List[float] = field(default_factory=list)
+    stride: int = 1
+    _skipped: int = field(default=0, repr=False)
 
     def add(self, value: float) -> None:
         self.count += 1
@@ -39,15 +57,52 @@ class HistogramSummary:
             self.min = value
         if value > self.max:
             self.max = value
+        self._skipped += 1
+        if self._skipped >= self.stride:
+            self._skipped = 0
+            self.samples.append(value)
+            if len(self.samples) >= RESERVOIR_CAP:
+                self._decimate()
+
+    def _decimate(self) -> None:
+        self.samples = self.samples[::2]
+        self.stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile estimate from the reservoir
+        (``q`` in [0, 100]); ``None`` for an empty series."""
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1,
+                          round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def combine(self, other: "HistogramSummary") -> None:
+        """Fold *other*'s series into this one (used by registry
+        merges): exact fields add, reservoirs concatenate and re-thin
+        back under the cap."""
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self.samples.extend(other.samples)
+        self.stride = max(self.stride, other.stride)
+        while len(self.samples) >= RESERVOIR_CAP:
+            self._decimate()
+
     def to_dict(self) -> Dict[str, float]:
-        return {"count": self.count, "total": round(self.total, 3),
-                "min": round(self.min, 3), "max": round(self.max, 3),
-                "mean": round(self.mean, 3)}
+        out = {"count": self.count, "total": round(self.total, 3),
+               "min": round(self.min, 3), "max": round(self.max, 3),
+               "mean": round(self.mean, 3)}
+        if self.samples:
+            for label, q in (("p50", 50), ("p95", 95), ("p99", 99)):
+                out[label] = round(self.percentile(q), 3)
+        return out
 
 
 class MetricsRegistry:
@@ -72,7 +127,10 @@ class MetricsRegistry:
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold *other* into this registry (counters add, gauges
-        overwrite, histograms combine)."""
+        overwrite, histograms combine).  Merging is associative up to
+        reservoir thinning, so worker registries can fold in any
+        grouping and produce identical counters and equivalent
+        summaries."""
         for name, amount in other.counters.items():
             self.incr(name, amount)
         self.gauges.update(other.gauges)
@@ -80,13 +138,15 @@ class MetricsRegistry:
             mine = self.histograms.get(name)
             if mine is None:
                 mine = self.histograms[name] = HistogramSummary()
-            mine.count += theirs.count
-            mine.total += theirs.total
-            mine.min = min(mine.min, theirs.min)
-            mine.max = max(mine.max, theirs.max)
+            mine.combine(theirs)
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """Plain-dict snapshot: ``{"counters", "gauges", "histograms"}``."""
+        """Plain-dict snapshot: ``{"counters", "gauges", "histograms"}``.
+
+        Keys are sorted in every family so two registries holding the
+        same data serialise byte-identically regardless of the order
+        metrics were recorded or merged in (worker pools fold results
+        in scheduling order; exports must not depend on it)."""
         return {
             "counters": dict(sorted(self.counters.items())),
             "gauges": dict(sorted(self.gauges.items())),

@@ -26,7 +26,7 @@ The tracer is single-threaded by design, matching the pipeline.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from .metrics import MetricsRegistry
 
@@ -71,18 +71,28 @@ class Span:
         return self.duration_s * 1e3
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain-dict form (stable schema, JSON-serialisable)."""
+        """Plain-dict form (stable schema, JSON-serialisable).
+
+        Attribute and counter keys are sorted so serialisations are
+        byte-stable across runs — span trees merged from worker
+        processes must not leak pool scheduling order into exports."""
         out: Dict[str, object] = {
             "name": self.name,
             "duration_ms": round(self.duration_ms, 3),
         }
         if self.attributes:
-            out["attributes"] = dict(self.attributes)
+            out["attributes"] = dict(sorted(self.attributes.items()))
         if self.counters:
-            out["counters"] = dict(self.counters)
+            out["counters"] = dict(sorted(self.counters.items()))
         if self.children:
             out["children"] = [child.to_dict() for child in self.children]
         return out
+
+    def walk(self) -> "Iterator[Span]":
+        """Pre-order iteration over this span and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Span({self.name!r}, {self.duration_ms:.1f}ms, "
@@ -204,6 +214,10 @@ _MAX_EXTRAS = 6
 def _format_extras(span: Span) -> str:
     parts = []
     for key, value in span.attributes.items():
+        if isinstance(value, (dict, list)):
+            # structured payloads (e.g. the --profile hot-function
+            # table) have their own renderers; keep tree lines flat
+            continue
         parts.append(f"{key}={value}")
     for key, value in span.counters.items():
         rendered = f"{value:g}" if isinstance(value, float) else str(value)

@@ -1,0 +1,33 @@
+"""Performance lab: measurement, bench history and regression gating.
+
+``repro.perf`` is the layer that keeps the toolchain's *own* speed
+honest — the paper's evaluation is a performance-comparison exercise,
+and ROADMAP item 2 ("as fast as the host allows") needs trustworthy
+wall-time accounting before any speed work can claim a win.  Three
+pieces:
+
+* :mod:`repro.perf.measure` — the canonical per-benchmark measurement
+  (cold pipeline, warm cache replay, cleanup rebuild) shared by
+  ``benchmarks/bench_spd.py`` and the regression gate, so a snapshot
+  and a gate run are always comparing like with like;
+* :mod:`repro.perf.history` — an append-only ``perf/history.jsonl``
+  trajectory (schema ``repro.perf_history/1``: git sha, timestamp,
+  host, per-benchmark stage wall-times and work counters);
+* :mod:`repro.perf.check` — ``repro perf check --against BASELINE``:
+  re-measures, computes per-stage deltas under a noise threshold and
+  exits non-zero on regression (the CI perf gate).
+
+See docs/observability.md ("Performance lab") for the workflow.
+"""
+
+from .check import CheckResult, StageDelta, compare, load_baseline, run_check
+from .history import (HISTORY_SCHEMA, append_record, git_sha, host_info,
+                      load_records, make_record)
+from .measure import TRACKED_COUNTERS, measure_benchmark
+
+__all__ = [
+    "measure_benchmark", "TRACKED_COUNTERS",
+    "HISTORY_SCHEMA", "make_record", "append_record", "load_records",
+    "git_sha", "host_info",
+    "StageDelta", "CheckResult", "compare", "load_baseline", "run_check",
+]

@@ -109,7 +109,7 @@ class Pipeline:
         fp = self.compile_fingerprint(source)
         artifact = self.store.get("compiled", fp)
         if artifact is None:
-            with obs.span("pipeline.compile", program=label):
+            with obs.profile_span("pipeline.compile", program=label):
                 program = compile_source(source,
                                          guard_words=self.guard_words)
                 if self.graft is not None:
@@ -125,7 +125,7 @@ class Pipeline:
         artifact = self.store.get("profile", fp)
         if artifact is None:
             compiled = self.compiled(label, source)
-            with obs.span("pipeline.profile", program=label):
+            with obs.profile_span("pipeline.profile", program=label):
                 reference = run_program(compiled.program)
             artifact = ProfileArtifact(fp, label, reference)
             self.store.put("profile", fp, artifact)
@@ -143,7 +143,7 @@ class Pipeline:
         if artifact is None:
             compiled = self.compiled(label, source)
             profiled = self.profile(label, source)
-            with obs.span("pipeline.disambiguate", program=label,
+            with obs.profile_span("pipeline.disambiguate", program=label,
                           kind=kind.value, memory_latency=memory_latency):
                 result = disambiguate(
                     compiled.program, kind, profile=profiled.profile,
@@ -167,7 +167,7 @@ class Pipeline:
         if artifact is None:
             view = self.view(label, source, kind, mach.memory_latency)
             profiled = self.profile(label, source)
-            with obs.span("pipeline.timing", program=label,
+            with obs.profile_span("pipeline.timing", program=label,
                           kind=kind.value, machine=mach.name):
                 timing = evaluate_program(view.program, view.graphs, mach,
                                           profiled.profile)
@@ -187,7 +187,7 @@ class Pipeline:
         if artifact is None:
             view = self.view(label, source, kind, mach.memory_latency)
             profiled = self.profile(label, source)
-            with obs.span("pipeline.hw_timing", program=label,
+            with obs.profile_span("pipeline.hw_timing", program=label,
                           kind=kind.value, machine=mach.name):
                 # simulate a copy: the simulator may lay out memory on a
                 # program the store also serves to other callers

@@ -19,11 +19,21 @@ default, and byte-identical to the historical behaviour) or on a
 The ``fork`` start method is preferred (cheap, inherits the loaded
 package); platforms without it (Windows, macOS spawn default) fall back
 to ``spawn``, which only requires the job/config dataclasses to pickle.
+
+When the parent runs under a tracer, workers record each job under a
+tracer of their own and ship the resulting ``pipeline.worker_job`` span
+subtree (stamped with the worker's OS pid) and metrics registry back
+with the artifact.  :func:`run_jobs` grafts the spans under its
+``pipeline.parallel`` span in job order and folds the registries into
+the parent's, so a ``--jobs N`` run produces one coherent trace —
+Chrome-trace exports lay worker spans out on per-pid lanes (see
+:mod:`repro.obs.export`) and merged counters equal a serial run's.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
@@ -84,16 +94,37 @@ class _WorkerSpec:
     cache_root: Optional[str]
     passes: PassPipelineConfig = PassPipelineConfig()
     guard_words: int = 0
+    trace: bool = False
+    profile_top_n: Optional[int] = None
+
+
+@dataclass
+class _WorkerResult:
+    """One job's artifact plus the worker-side observability capture.
+
+    ``span`` is the worker's job span subtree (``None`` when the parent
+    ran untraced) and ``metrics`` the registry the job accumulated;
+    both travel back through the pool so the parent can merge a
+    parallel run into one coherent trace."""
+
+    artifact: object
+    span: Optional[obs.Span] = None
+    metrics: Optional[obs.MetricsRegistry] = None
 
 
 #: Per-worker pipeline, built once by the pool initializer so a worker
 #: processing several jobs for one program reuses its in-memory tier.
 _worker_pipeline: Optional[Pipeline] = None
+_worker_trace: bool = False
 
 
 def _init_worker(spec: _WorkerSpec) -> None:
-    global _worker_pipeline
+    global _worker_pipeline, _worker_trace
     obs.disable()  # a forked parent tracer would record into a dead copy
+    obs.disable_profiling()
+    _worker_trace = spec.trace
+    if spec.trace and spec.profile_top_n is not None:
+        obs.enable_profiling(spec.profile_top_n)
     _worker_pipeline = Pipeline(
         spd_config=spec.spd_config, graft=spec.graft,
         validate_spec_output=spec.validate_spec_output,
@@ -101,8 +132,16 @@ def _init_worker(spec: _WorkerSpec) -> None:
         passes=spec.passes, guard_words=spec.guard_words)
 
 
-def _run_job(job: Job):
-    return _run_on(_worker_pipeline, job)
+def _run_job(job: Job) -> _WorkerResult:
+    if not _worker_trace:
+        return _WorkerResult(_run_on(_worker_pipeline, job))
+    # record this job under its own tracer; the job span (with the
+    # worker's pid stamped on it) ships back for the parent to graft
+    with obs.tracing() as tracer:
+        with obs.span("pipeline.worker_job", job=job.label,
+                      worker_pid=os.getpid()) as job_span:
+            artifact = _run_on(_worker_pipeline, job)
+    return _WorkerResult(artifact, job_span, tracer.metrics)
 
 
 def _run_on(pipeline: Pipeline, job: Job):
@@ -133,19 +172,36 @@ def run_jobs(pipeline: Pipeline, jobs: Sequence[Job],
         return [_run_on(pipeline, job) for job in jobs]
 
     workers = min(num_jobs, len(jobs))
+    tracer = obs.current_tracer()
     spec = _WorkerSpec(
         spd_config=pipeline.spd_config, graft=pipeline.graft,
         validate_spec_output=pipeline.validate_spec_output,
         cache_root=(str(pipeline.store.root)
                     if pipeline.store.root is not None else None),
-        passes=pipeline.passes, guard_words=pipeline.guard_words)
-    with obs.span("pipeline.parallel", jobs=workers, tasks=len(jobs)):
+        passes=pipeline.passes, guard_words=pipeline.guard_words,
+        trace=tracer is not None,
+        profile_top_n=(obs.profile.DEFAULT_TOP_N
+                       if obs.is_profiling() else None))
+    with obs.span("pipeline.parallel", jobs=workers,
+                  tasks=len(jobs)) as parallel_span:
         obs.set_gauge("pipeline.jobs", workers)
         obs.incr("pipeline.parallel_tasks", len(jobs))
         ctx = _pool_context()
         with ctx.Pool(workers, initializer=_init_worker,
                       initargs=(spec,)) as pool:
-            results = pool.map(_run_job, jobs)
+            worker_results = pool.map(_run_job, jobs)
+        # graft the worker-side traces into this trace, in job order:
+        # each job span keeps its worker_pid annotation so exporters
+        # can lay subprocess spans out on their own pid lanes, and the
+        # worker registries fold into the parent's (merge is
+        # associative, so jobs=N matches a serial run's counters)
+        if tracer is not None:
+            for result in worker_results:
+                if result.span is not None:
+                    parallel_span.children.append(result.span)
+                if result.metrics is not None:
+                    tracer.metrics.merge(result.metrics)
+    results = [result.artifact for result in worker_results]
     for artifact in results:
         if isinstance(artifact, TimingArtifact):
             stage = "timing"

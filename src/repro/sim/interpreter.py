@@ -369,6 +369,7 @@ class Interpreter:
         for (func_name, tree_name), execs in self._obs_tree_execs.items():
             total_execs += execs
             obs.incr(f"sim.tree.{func_name}:{tree_name}", execs)
+            obs.observe("sim.tree_executions_per_tree", execs)
             tree = self.program.functions[func_name].trees[tree_name]
             for op in tree.ops:
                 name = op.opcode.name
@@ -387,7 +388,8 @@ class Interpreter:
         obs.incr("sim.guard_committed", guarded_issues - squashed_total)
         obs.incr("sim.steps", self.steps)
         run_span.annotate(steps=self.steps, output_values=len(self.output),
-                          tree_executions=total_execs)
+                          tree_executions=total_execs,
+                          dynamic_ops=sum(issued.values()) - squashed_total)
 
 
 def run_program(program: Program, args: Tuple[Number, ...] = (),

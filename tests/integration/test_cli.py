@@ -146,6 +146,148 @@ class TestTrace:
         assert data["metrics"]["counters"]["sim.steps"] > 0
 
 
+class TestTraceFormats:
+    def test_chrome_export_has_all_pipeline_stages(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.chrome.json"
+        assert main(["trace", "perm", "--memory", "2", "--hw",
+                     "--format", "chrome", "--out", str(out_path)]) == 0
+        trace = json.loads(out_path.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        names = {event["name"] for event in complete}
+        # all five pipeline stages appear in one trace
+        for stage in ("pipeline.compile", "pipeline.profile",
+                      "pipeline.disambiguate", "pipeline.timing",
+                      "pipeline.hw_timing"):
+            assert stage in names, stage
+        for event in complete:
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert "pid" in event and "tid" in event
+
+    @pytest.mark.slow
+    def test_chrome_export_merges_worker_lanes(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.chrome.json"
+        assert main(["trace", "perm", "--memory", "2", "--jobs", "2",
+                     "--format", "chrome", "--out", str(out_path)]) == 0
+        trace = json.loads(out_path.read_text())
+        pids = {event["pid"] for event in trace["traceEvents"]}
+        assert len(pids) >= 2  # main lane + at least one worker lane
+        names = {event["name"] for event in trace["traceEvents"]}
+        assert "pipeline.worker_job" in names
+
+    def test_chrome_to_stdout_is_sorted_json(self, capsys):
+        assert main(["trace", "perm", "--memory", "2",
+                     "--format", "chrome"]) == 0
+        payload = capsys.readouterr().out
+        trace = json.loads(payload)
+        assert payload == json.dumps(trace, indent=2, sort_keys=True) + "\n"
+
+    def test_folded_stacks(self, capsys):
+        assert main(["trace", "perm", "--memory", "2",
+                     "--format", "folded"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line]
+        assert lines
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert int(weight) > 0
+        assert any("pipeline.profile;sim.run" in line for line in lines)
+
+    def test_unwritable_out(self, capsys):
+        assert main(["trace", "perm", "--memory", "2", "--format", "chrome",
+                     "--out", "/no/such/dir/trace.json"]) == 2
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_text_output_includes_percentiles(self, capsys):
+        assert main(["trace", "perm", "--memory", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "histograms (ms):" in out
+        for column in ("p50", "p95", "p99"):
+            assert column in out, column
+
+    def test_profile_attaches_hot_tables(self, capsys):
+        assert main(["trace", "perm", "--memory", "2", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile: pipeline.profile" in out
+        assert "cum_ms" in out
+        # profiling is a trace-local toggle, not a sticky global
+        from repro import obs
+        assert not obs.is_profiling()
+
+
+class TestPerfCommand:
+    @staticmethod
+    def _baseline(tmp_path, monkeypatch, factor=None):
+        from repro.perf.measure import measure_benchmark
+        monkeypatch.delenv("REPRO_PERF_INJECT", raising=False)
+        measured = measure_benchmark("perm", 5, 6, str(tmp_path / "cache"))
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"benchmarks": {"perm": measured}}))
+        return path
+
+    @pytest.mark.slow
+    def test_clean_check_exits_zero(self, capsys, tmp_path, monkeypatch):
+        baseline = self._baseline(tmp_path, monkeypatch)
+        assert main(["perf", "check", "--against", str(baseline),
+                     "--names", "perm", "--threshold", "3.0",
+                     "--min-ms", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "perf check: OK" in out
+
+    @pytest.mark.slow
+    def test_injected_regression_exits_nonzero(self, capsys, tmp_path,
+                                               monkeypatch):
+        baseline = self._baseline(tmp_path, monkeypatch)
+        monkeypatch.setenv("REPRO_PERF_INJECT", "disambiguate:40.0")
+        out_json = tmp_path / "check.json"
+        assert main(["perf", "check", "--against", str(baseline),
+                     "--names", "perm", "--threshold", "3.0",
+                     "--min-ms", "50", "--json", str(out_json)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+        payload = json.loads(out_json.read_text())
+        assert payload["schema"] == "repro.perf_check/1"
+        assert payload["ok"] is False
+
+    def test_unknown_benchmark(self, capsys, tmp_path):
+        baseline = tmp_path / "b.json"
+        baseline.write_text(json.dumps({"benchmarks": {}}))
+        assert main(["perf", "check", "--against", str(baseline),
+                     "--names", "nonesuch"]) == 2
+
+    def test_missing_baseline(self, capsys):
+        assert main(["perf", "check", "--against", "/no/such/base.json",
+                     "--names", "perm"]) == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_record_appends_history(self, capsys, tmp_path, monkeypatch):
+        baseline = self._baseline(tmp_path, monkeypatch)
+        history = tmp_path / "history.jsonl"
+        assert main(["perf", "check", "--against", str(baseline),
+                     "--names", "perm", "--threshold", "3.0",
+                     "--min-ms", "50", "--record", str(history)]) == 0
+        from repro.perf.history import load_records
+        records = load_records(history)
+        assert len(records) == 1
+        assert "perm" in records[0]["benchmarks"]
+
+    def test_history_renders_trajectory(self, capsys, tmp_path):
+        from repro.perf.history import append_record, make_record
+        history = tmp_path / "history.jsonl"
+        bench = {"perm": {"wall_ms": {"total": 100.0, "warm_total": 5.0}}}
+        append_record(history, make_record("life-5fu-mem6", 5, 6, bench,
+                                           sha="a" * 40,
+                                           timestamp="2026-08-08T00:00:00Z"))
+        assert main(["perf", "history", "--path", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "life-5fu-mem6" in out
+        assert "aaaaaaaaaaaa" in out
+
+    def test_history_missing_file(self, capsys, tmp_path):
+        assert main(["perf", "history",
+                     "--path", str(tmp_path / "none.jsonl")]) == 2
+
+
 class TestListAndReport:
     def test_list(self, capsys):
         assert main(["list"]) == 0

@@ -1,0 +1,161 @@
+"""Tests for the span-tree exporters (repro.obs.export).
+
+The Chrome-trace round-trip here is the contract behind
+``repro trace --format chrome``: every event must carry the trace-event
+schema fields (``ph``/``ts``/``dur``/``pid``/``tid``), timestamps must
+be non-negative and child events must nest inside their parents, so the
+output loads in Perfetto / ``chrome://tracing`` unmodified.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (MAIN_PID, to_chrome_trace, to_folded_stacks,
+                              worker_pid_of)
+from repro.obs.trace import Span
+
+
+def _span(name, start_s, end_s, attributes=None):
+    span = Span(name, attributes)
+    span.start_s = start_s
+    span.end_s = end_s
+    return span
+
+
+def _tree():
+    """root(10ms) -> [compile(4ms) -> parse(1ms), timing(3ms)]."""
+    root = _span("pipeline", 1000.0, 1000.010)
+    compile_ = _span("pipeline.compile", 1000.001, 1000.005,
+                     {"program": "perm"})
+    compile_.children.append(_span("frontend.parse", 1000.002, 1000.003))
+    timing = _span("pipeline.timing", 1000.006, 1000.009)
+    timing.counters["timing.evals"] = 4
+    root.children.extend([compile_, timing])
+    return root
+
+
+def _worker_tree():
+    """A merged jobs=N shape: parallel span with two worker subtrees."""
+    root = _span("pipeline", 2000.0, 2000.007)
+    par = _span("pipeline.parallel", 2000.001, 2000.006)
+    for pid in (4001, 4002):
+        job = _span("pipeline.worker_job", 2000.002, 2000.005,
+                    {"worker_pid": pid})
+        job.children.append(_span("disambig.spec", 2000.003, 2000.004))
+        par.children.append(job)
+    root.children.append(par)
+    return root
+
+
+class TestChromeTrace:
+    def test_envelope_and_event_schema(self):
+        trace = to_chrome_trace(_tree(), process_name="repro perm")
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 4
+        for event in complete:
+            assert set(event) >= {"name", "cat", "ph", "ts", "dur",
+                                  "pid", "tid"}
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert event["pid"] == MAIN_PID
+            assert event["tid"] == 1
+
+    def test_round_trip_preserves_structure(self):
+        payload = json.dumps(to_chrome_trace(_tree()), sort_keys=True)
+        trace = json.loads(payload)
+        by_name = {e["name"]: e for e in trace["traceEvents"]
+                   if e["ph"] == "X"}
+        root, compile_ = by_name["pipeline"], by_name["pipeline.compile"]
+        parse = by_name["frontend.parse"]
+        # children nest inside parents on the microsecond timeline
+        assert root["ts"] <= compile_["ts"]
+        assert (compile_["ts"] + compile_["dur"]
+                <= root["ts"] + root["dur"] + 1e-6)
+        assert parse["ts"] >= compile_["ts"]
+        # durations are microseconds
+        assert root["dur"] == pytest.approx(10_000, rel=1e-6)
+        assert parse["dur"] == pytest.approx(1_000, rel=1e-6)
+        # attributes and counters ride in args
+        assert compile_["args"]["program"] == "perm"
+        assert by_name["pipeline.timing"]["args"]["counter.timing.evals"] == 4
+
+    def test_metadata_names_every_pid_lane(self):
+        trace = to_chrome_trace(_worker_tree(), process_name="repro")
+        meta = {e["pid"]: e["args"]["name"] for e in trace["traceEvents"]
+                if e["ph"] == "M" and e["name"] == "process_name"}
+        assert meta[MAIN_PID] == "repro"
+        assert meta[4001] == "repro worker 4001"
+        assert meta[4002] == "repro worker 4002"
+
+    def test_worker_subtrees_get_own_pid_lane(self):
+        trace = to_chrome_trace(_worker_tree())
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        pids = {e["name"]: sorted({x["pid"] for x in complete
+                                   if x["name"] == e["name"]})
+                for e in complete}
+        assert pids["pipeline"] == [MAIN_PID]
+        assert pids["pipeline.parallel"] == [MAIN_PID]
+        assert pids["pipeline.worker_job"] == [4001, 4002]
+        # children of a worker span inherit the worker lane
+        assert pids["disambig.spec"] == [4001, 4002]
+
+    def test_rebases_on_earliest_start_across_processes(self):
+        root = _span("pipeline", 5000.010, 5000.020)
+        root.children.append(
+            _span("pipeline.worker_job", 5000.000, 5000.002,
+                  {"worker_pid": 77}))
+        trace = to_chrome_trace(root)
+        by_name = {e["name"]: e for e in trace["traceEvents"]
+                   if e["ph"] == "X"}
+        assert by_name["pipeline.worker_job"]["ts"] == 0
+        assert by_name["pipeline"]["ts"] == pytest.approx(10_000, rel=1e-6)
+
+    def test_live_tracer_tree_exports(self):
+        with obs.tracing() as tracer:
+            with obs.span("pipeline", program="x"):
+                with obs.span("pipeline.compile"):
+                    pass
+        trace = to_chrome_trace(tracer.root)
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert {"pipeline", "pipeline.compile"} <= names
+
+
+class TestWorkerPid:
+    def test_annotated(self):
+        assert worker_pid_of(Span("s", {"worker_pid": 42})) == 42
+
+    def test_absent_or_bogus(self):
+        assert worker_pid_of(Span("s")) is None
+        assert worker_pid_of(Span("s", {"worker_pid": "soon"})) is None
+
+
+class TestFoldedStacks:
+    def test_stacks_weights_and_totals(self):
+        text = to_folded_stacks(_tree())
+        lines = dict(line.rsplit(" ", 1) for line in text.splitlines())
+        weights = {stack: int(w) for stack, w in lines.items()}
+        assert weights["pipeline;pipeline.compile;frontend.parse"] == 1000
+        # self time = inclusive - children
+        assert weights["pipeline;pipeline.compile"] == 3000
+        assert weights["pipeline;pipeline.timing"] == 3000
+        assert weights["pipeline"] == 3000
+        # folded totals reproduce the root's inclusive duration
+        assert sum(weights.values()) == 10_000
+
+    def test_worker_frames_prefixed(self):
+        text = to_folded_stacks(_worker_tree())
+        assert ("pipeline;pipeline.parallel;worker-4001;"
+                "pipeline.worker_job;disambig.spec 1000") in text
+
+    def test_zero_self_time_spans_omitted(self):
+        root = _span("a", 0.0, 0.001)
+        root.children.append(_span("b", 0.0, 0.001))
+        assert to_folded_stacks(root) == "a;b 1000\n"
+
+    def test_frame_sanitisation(self):
+        span = _span("odd name;with semis", 0.0, 0.001)
+        assert to_folded_stacks(span) == "odd_name_with_semis 1000\n"

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.obs.metrics import HistogramSummary, MetricsRegistry
+from repro.obs.metrics import RESERVOIR_CAP, HistogramSummary, MetricsRegistry
 
 
 class TestCounters:
@@ -37,6 +37,76 @@ class TestHistograms:
         assert HistogramSummary().mean == 0.0
 
 
+class TestPercentiles:
+    def test_exact_on_small_series(self):
+        summary = HistogramSummary()
+        for value in range(1, 101):  # 1..100
+            summary.add(float(value))
+        assert summary.percentile(50) == pytest.approx(50.0, abs=1.0)
+        assert summary.percentile(95) == pytest.approx(95.0, abs=1.0)
+        assert summary.percentile(99) == pytest.approx(99.0, abs=1.0)
+        assert summary.percentile(0) == 1.0
+        assert summary.percentile(100) == 100.0
+
+    def test_empty_series_has_no_percentiles(self):
+        summary = HistogramSummary()
+        assert summary.percentile(50) is None
+        assert "p50" not in summary.to_dict()
+
+    def test_to_dict_reports_percentiles(self):
+        summary = HistogramSummary()
+        for value in (1.0, 2.0, 3.0):
+            summary.add(value)
+        out = summary.to_dict()
+        assert out["p50"] == pytest.approx(2.0)
+        assert out["p95"] == pytest.approx(3.0)
+        assert out["p99"] == pytest.approx(3.0)
+
+    def test_reservoir_stays_bounded(self):
+        summary = HistogramSummary()
+        for value in range(10 * RESERVOIR_CAP):
+            summary.add(float(value))
+        assert len(summary.samples) < RESERVOIR_CAP
+        assert summary.count == 10 * RESERVOIR_CAP
+        assert summary.stride > 1
+
+    def test_decimated_percentiles_stay_representative(self):
+        summary = HistogramSummary()
+        n = 20 * RESERVOIR_CAP
+        for value in range(n):
+            summary.add(float(value))
+        # an evenly spaced subsample of 0..n-1 keeps the quantiles
+        assert summary.percentile(50) == pytest.approx(n / 2, rel=0.05)
+        assert summary.percentile(95) == pytest.approx(0.95 * n, rel=0.05)
+
+    def test_deterministic_across_runs(self):
+        def build():
+            summary = HistogramSummary()
+            for value in range(3000):
+                summary.add(float(value * 7 % 1000))
+            return summary
+        assert build().to_dict() == build().to_dict()
+
+    def test_combine_merges_reservoirs(self):
+        left, right = HistogramSummary(), HistogramSummary()
+        for value in range(100):
+            left.add(float(value))          # 0..99
+            right.add(float(value + 100))   # 100..199
+        left.combine(right)
+        assert left.count == 200
+        assert left.percentile(50) == pytest.approx(100.0, rel=0.1)
+        assert len(left.samples) < RESERVOIR_CAP
+
+    def test_combine_rethins_under_cap(self):
+        left, right = HistogramSummary(), HistogramSummary()
+        for value in range(RESERVOIR_CAP - 1):
+            left.add(float(value))
+            right.add(float(value))
+        left.combine(right)
+        assert len(left.samples) < RESERVOIR_CAP
+        assert left.stride > 1
+
+
 class TestSnapshotAndMerge:
     def test_snapshot_is_json_serialisable_and_sorted(self):
         registry = MetricsRegistry()
@@ -64,3 +134,46 @@ class TestSnapshotAndMerge:
         assert left.histograms["h"].count == 2
         assert left.histograms["h"].min == 1.0
         assert left.histograms["h"].max == 5.0
+
+    @staticmethod
+    def _worker(seed):
+        registry = MetricsRegistry()
+        for i in range(seed * 10):
+            registry.incr("work", 2)
+            registry.observe("h", float(i))
+        return registry
+
+    def test_merge_is_associative_on_counters(self):
+        """Counters after any merge grouping equal the serial totals —
+        the property the jobs=N executor relies on."""
+        a, b, c = (self._worker(s) for s in (1, 2, 3))
+        left = MetricsRegistry()
+        left.merge(a)
+        left.merge(b)
+        left.merge(c)
+
+        bc = MetricsRegistry()
+        bc.merge(self._worker(2))
+        bc.merge(self._worker(3))
+        right = MetricsRegistry()
+        right.merge(self._worker(1))
+        right.merge(bc)
+
+        serial = self._worker(1)
+        for s in (2, 3):
+            serial.merge(self._worker(s))
+
+        assert (left.counters == right.counters == serial.counters
+                == {"work": 120})
+        assert (left.histograms["h"].count == right.histograms["h"].count
+                == serial.histograms["h"].count == 60)
+
+    def test_snapshot_bytes_independent_of_merge_order(self):
+        """jobs=4 workers fold in scheduling order; exported JSON must
+        not depend on that order."""
+        def snap(order):
+            root = MetricsRegistry()
+            for seed in order:
+                root.merge(self._worker(seed))
+            return json.dumps(root.snapshot(), sort_keys=True)
+        assert snap((1, 2, 3)) == snap((3, 1, 2))

@@ -1,0 +1,113 @@
+"""Tests for the opt-in per-stage profiler (repro.obs.profile)."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _profiling_off():
+    """Every test starts and ends with profiling disabled."""
+    obs.disable_profiling()
+    yield
+    obs.disable_profiling()
+
+
+def _busy():
+    return sum(i * i for i in range(2000))
+
+
+class TestEnableDisable:
+    def test_disabled_by_default(self):
+        assert not obs.is_profiling()
+
+    def test_toggle(self):
+        obs.enable_profiling()
+        assert obs.is_profiling()
+        obs.disable_profiling()
+        assert not obs.is_profiling()
+
+
+class TestProfileSpan:
+    def test_plain_span_when_disabled(self):
+        with obs.tracing() as tracer:
+            with obs.profile_span("pipeline.compile", program="x"):
+                _busy()
+        span = tracer.root.children[0]
+        assert span.name == "pipeline.compile"
+        assert "profile" not in span.attributes
+
+    def test_attaches_hot_function_table(self):
+        obs.enable_profiling(top_n=5)
+        with obs.tracing() as tracer:
+            with obs.profile_span("pipeline.compile"):
+                _busy()
+        table = tracer.root.children[0].attributes["profile"]
+        assert table["total_calls"] > 0
+        assert 1 <= len(table["top"]) <= 5
+        row = table["top"][0]
+        assert set(row) == {"func", "ncalls", "tottime_ms", "cumtime_ms"}
+        # the busy loop's generator expression must be attributed here
+        funcs = " ".join(r["func"] for r in table["top"])
+        assert "test_profile.py" in funcs
+
+    def test_no_tracer_means_no_profiler(self):
+        obs.enable_profiling()
+        with obs.profile_span("pipeline.compile") as span:
+            _busy()
+        assert span is obs.NULL_SPAN or not getattr(span, "attributes", None)
+
+    def test_inner_profile_spans_degrade_to_plain(self):
+        """cProfile cannot nest: only the outermost stage captures."""
+        obs.enable_profiling()
+        with obs.tracing() as tracer:
+            with obs.profile_span("outer"):
+                with obs.profile_span("inner"):
+                    _busy()
+        outer = tracer.root.children[0]
+        inner = outer.children[0]
+        assert "profile" in outer.attributes
+        assert "profile" not in inner.attributes
+
+    def test_top_n_bounds_table(self):
+        obs.enable_profiling(top_n=2)
+        with obs.tracing() as tracer:
+            with obs.profile_span("stage"):
+                _busy()
+        assert len(tracer.root.children[0].attributes["profile"]["top"]) <= 2
+
+    def test_rows_sorted_by_cumulative_time(self):
+        obs.enable_profiling()
+        with obs.tracing() as tracer:
+            with obs.profile_span("stage"):
+                _busy()
+        rows = tracer.root.children[0].attributes["profile"]["top"]
+        cums = [row["cumtime_ms"] for row in rows]
+        assert cums == sorted(cums, reverse=True)
+
+
+class TestFormatting:
+    def test_format_profile_tables(self):
+        obs.enable_profiling(top_n=3)
+        with obs.tracing() as tracer:
+            with obs.profile_span("pipeline.timing"):
+                _busy()
+        text = obs.format_profile_tables(tracer.root)
+        assert "profile: pipeline.timing" in text
+        assert "cum_ms" in text and "ncalls" in text
+
+    def test_empty_tree_formats_empty(self):
+        with obs.tracing() as tracer:
+            with obs.span("plain"):
+                pass
+        assert obs.format_profile_tables(tracer.root) == ""
+
+    def test_tree_lines_stay_flat(self):
+        """The structured profile table must not leak onto tree lines."""
+        obs.enable_profiling()
+        with obs.tracing() as tracer:
+            with obs.profile_span("stage"):
+                _busy()
+        rendered = obs.format_span_tree(tracer.finish())
+        assert "profile=" not in rendered
+        assert "cumtime_ms" not in rendered

@@ -111,6 +111,70 @@ class TestExecutor:
         assert tracer.metrics.counters["pipeline.cache_hits.mem"] == 1
 
 
+class TestWorkerTraceMerge:
+    """jobs=N runs must fold worker spans and metrics into the parent
+    tracer so one coherent trace covers the whole fan-out."""
+
+    @pytest.mark.slow
+    def test_jobs4_counters_equal_serial(self, tmp_path):
+        mach = machine(5, 2)
+        jobs = [TimingJob("ex", SOURCE, kind, mach) for kind in Disambiguator]
+
+        with obs.tracing() as serial_tracer:
+            run_jobs(Pipeline(store=ArtifactStore(tmp_path / "serial")),
+                     jobs, num_jobs=1)
+        with obs.tracing() as parallel_tracer:
+            run_jobs(Pipeline(store=ArtifactStore(tmp_path / "parallel")),
+                     jobs, num_jobs=4)
+
+        serial = serial_tracer.metrics.counters
+        parallel = parallel_tracer.metrics.counters
+        # per-job work counters must agree exactly
+        for key in ("depgraph.builds", "timing.infinite_evals",
+                    "sched.trees_scheduled"):
+            assert parallel[key] == serial[key], key
+        # shared-stage work (the profile simulation) may be duplicated
+        # by workers racing on a cold cache, but is never lost
+        assert parallel["sim.steps"] >= serial["sim.steps"]
+
+    @pytest.mark.slow
+    def test_jobs2_grafts_worker_spans(self, tmp_path):
+        from repro.obs.export import to_chrome_trace, worker_pid_of
+
+        mach = machine(5, 2)
+        jobs = [TimingJob("ex", SOURCE, kind, mach) for kind in Disambiguator]
+        with obs.tracing() as tracer:
+            run_jobs(Pipeline(store=ArtifactStore(tmp_path)), jobs,
+                     num_jobs=2)
+        root = tracer.finish()
+
+        worker_spans = [span for span in root.walk()
+                        if span.name == "pipeline.worker_job"]
+        assert len(worker_spans) == len(jobs)
+        pids = {worker_pid_of(span) for span in worker_spans}
+        assert None not in pids
+        # every worker job subtree recorded real pipeline stages
+        for span in worker_spans:
+            names = {child.name for child in span.walk()}
+            assert "pipeline.timing" in names
+
+        # and the merged tree exports to one multi-pid chrome trace
+        trace = to_chrome_trace(root)
+        lanes = {event["pid"] for event in trace["traceEvents"]}
+        assert len(lanes) >= 2
+
+    @pytest.mark.slow
+    def test_jobs2_merges_worker_histograms(self, tmp_path):
+        mach = machine(5, 2)
+        jobs = [TimingJob("ex", SOURCE, kind, mach) for kind in Disambiguator]
+        with obs.tracing() as tracer:
+            run_jobs(Pipeline(store=ArtifactStore(tmp_path)), jobs,
+                     num_jobs=2)
+        histograms = tracer.metrics.histograms
+        assert histograms["span.pipeline.timing"].count == len(jobs)
+        assert histograms["span.pipeline.timing"].percentile(50) is not None
+
+
 class TestParallelExperimentEquivalence:
     @pytest.mark.slow
     def test_figure6_2_jobs4_equals_jobs1(self, tmp_path):

@@ -1,9 +1,9 @@
 """Validate the checked-in ``BENCH_spd.json`` against its JSON schema.
 
 The schema (``tests/schemas/bench_spd.schema.json``) is the contract for
-the ``repro.bench_spd/2`` payload that ``repro bench --json`` emits and
-downstream dashboards consume; this test pins both the committed
-artifact and, structurally, anything the CLI will produce next.
+the ``repro.bench_spd/3`` payload that ``benchmarks/bench_spd.py`` emits
+and downstream dashboards consume; this test pins both the committed
+artifact and, structurally, anything the benchmark will produce next.
 """
 
 import json
@@ -37,7 +37,7 @@ def test_schema_rejects_mutations():
         return not validator.is_valid(payload)
 
     name = next(iter(PAYLOAD["benchmarks"]))
-    assert invalid(lambda p: p.update(schema="repro.bench_spd/1"))
+    assert invalid(lambda p: p.update(schema="repro.bench_spd/2"))
     assert invalid(lambda p: p.pop("machine"))
     assert invalid(lambda p: p.update(num_fus=0))
     assert invalid(lambda p: p["benchmarks"][name].pop("cycles"))
