@@ -24,6 +24,7 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from ..disambig.pipeline import DisambiguationResult, Disambiguator
 from ..disambig.spd_heuristic import SpDConfig
+from ..engines import DEFAULT_ENGINE
 from ..frontend.grafting import GraftConfig
 from ..hwsim.core import HwTiming
 from ..ir.program import Program
@@ -66,7 +67,8 @@ class BenchmarkRunner:
                  jobs: int = 1,
                  store: Optional[ArtifactStore] = None,
                  passes: Optional[PassPipelineConfig] = None,
-                 guard_words: int = 0):
+                 guard_words: int = 0,
+                 engine: str = DEFAULT_ENGINE):
         self.spd_config = spd_config
         self.validate_spec_output = validate_spec_output
         self.graft = graft
@@ -74,7 +76,8 @@ class BenchmarkRunner:
         self.pipeline = Pipeline(spd_config=spd_config, graft=graft,
                                  validate_spec_output=validate_spec_output,
                                  store=store, passes=passes,
-                                 guard_words=guard_words)
+                                 guard_words=guard_words, engine=engine)
+        self.engine = self.pipeline.engine
         self.passes = self.pipeline.passes
         self._compiled: Dict[str, CompiledBenchmark] = {}
 

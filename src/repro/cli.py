@@ -21,6 +21,13 @@ Options shared by ``analyze``/``bench``/``trace``/``schedule``:
 ``none``) and ``--dump-after PASS`` (print the IR after a pass;
 repeatable).  ``report`` honors the SpD and pass knobs too.
 
+``run``/``analyze``/``bench``/``trace``/``report``/``hwcompare`` and
+``perf check`` accept ``--engine {interp,jit}`` (default ``jit``) to
+pick the execution engine for program runs; ``fuzz --engine`` also
+accepts ``all`` (the default) to cross-check every registered semantic
+engine.  Engines are reference-identical (docs/architecture.md,
+"Execution engines").
+
 ``analyze``, ``bench``, ``trace`` and ``report`` accept ``--json OUT``
 to write a machine-readable result (schemas in docs/observability.md)
 alongside the unchanged text output; ``OUT`` may be ``-`` for stdout.
@@ -41,10 +48,12 @@ from .bench.runner import BenchmarkRunner
 from .bench.suite import SUITE
 from .disambig.pipeline import Disambiguator, disambiguate
 from .disambig.spd_heuristic import SpDConfig
+from .engines import DEFAULT_ENGINE, semantic_engine_names
 from .frontend.driver import compile_source
 from .frontend.grafting import GraftConfig, graft_program
 from .ir.printer import format_program
 from .machine.description import machine
+from .machine.hw import PREDICTOR_NAMES
 from .passes import (DEFAULT_CLEANUP, PassPipelineConfig, UnknownPassError,
                      registered_passes)
 from .sim.evaluate import evaluate_program
@@ -63,6 +72,10 @@ def _load_source(path: str) -> str:
 def _machine_from(args) -> "machine":
     num_fus = None if args.fus == 0 else args.fus
     return machine(num_fus, args.memory)
+
+
+def _engine_from(args) -> str:
+    return getattr(args, "engine", DEFAULT_ENGINE)
 
 
 def _spd_config_from(args) -> SpDConfig:
@@ -118,7 +131,7 @@ def _machine_dict(mach) -> dict:
 
 def _cmd_run(args) -> int:
     program = compile_source(_load_source(args.program))
-    result = run_program(program)
+    result = run_program(program, engine=_engine_from(args))
     for value in result.output:
         print(value)
     print(f"[{result.steps} operations executed]", file=sys.stderr)
@@ -138,7 +151,8 @@ def _cmd_compile(args) -> int:
 def _analyze(program, mach, label: str,
              spd_config: SpDConfig = SpDConfig(),
              reference=None, stages=None,
-             passes: Optional[PassPipelineConfig] = None) -> dict:
+             passes: Optional[PassPipelineConfig] = None,
+             engine: str = DEFAULT_ENGINE) -> dict:
     """Print the per-disambiguator cycle table; return it structured.
 
     ``stages(kind) -> (view, timing)``, when given, supplies the
@@ -146,7 +160,7 @@ def _analyze(program, mach, label: str,
     instead of the ad-hoc computation used for loose source files.
     """
     if reference is None:
-        reference = run_program(program)
+        reference = run_program(program, engine=engine)
     print(f"{label}: {program.size()} ops, output {reference.output[:6]}"
           f"{'...' if len(reference.output) > 6 else ''}")
     print(f"machine: {mach.name}")
@@ -189,6 +203,7 @@ def _run_analysis(args, program, label: str, reference=None,
     mach = _machine_from(args)
     spd_config = _spd_config_from(args)
     passes = _pass_config_from(args)
+    engine = _engine_from(args)
     profiling = getattr(args, "profile", False)
     if args.json or profiling:
         if profiling:
@@ -196,7 +211,7 @@ def _run_analysis(args, program, label: str, reference=None,
         try:
             with obs.tracing() as tracer:
                 data = _analyze(program, mach, label, spd_config, reference,
-                                stages, passes)
+                                stages, passes, engine)
         finally:
             obs.disable_profiling()
         if profiling:
@@ -209,7 +224,8 @@ def _run_analysis(args, program, label: str, reference=None,
                        **tracer.to_dict()}
             return _write_json(args.json, payload)
         return 0
-    _analyze(program, mach, label, spd_config, reference, stages, passes)
+    _analyze(program, mach, label, spd_config, reference, stages, passes,
+             engine)
     return 0
 
 
@@ -229,7 +245,8 @@ def _cmd_bench(args) -> int:
         spd_config=_spd_config_from(args),
         graft=GraftConfig() if args.graft else None,
         jobs=args.jobs,
-        passes=_pass_config_from(args))
+        passes=_pass_config_from(args),
+        engine=_engine_from(args))
     mach = _machine_from(args)
     if args.jobs > 1:
         runner.prefetch_timings([(args.name, kind, mach)
@@ -302,7 +319,8 @@ def _cmd_trace(args) -> int:
     pipeline = Pipeline(spd_config=_spd_config_from(args),
                         graft=GraftConfig() if args.graft else None,
                         store=ArtifactStore(None),
-                        passes=_pass_config_from(args))
+                        passes=_pass_config_from(args),
+                        engine=_engine_from(args))
     hw_mach = (hw_machine(4, mach.memory_latency)
                if args.hw else None)
     if args.profile:
@@ -376,7 +394,7 @@ def _cmd_schedule(args) -> int:
         print("schedule dumps need a finite machine (--fus N > 0)",
               file=sys.stderr)
         return 2
-    profile = run_program(program).profile
+    profile = run_program(program, engine=_engine_from(args)).profile
     kind = Disambiguator.SPEC if args.spec else Disambiguator.STATIC
     view = disambiguate(program, kind, profile=profile, machine=mach,
                         spd_config=_spd_config_from(args),
@@ -411,7 +429,8 @@ def _cmd_fuzz(args) -> int:
     """Differential fuzzing campaign (see docs/fuzzing.md)."""
     from .fuzz import GeneratorConfig, OracleConfig, run_campaign
 
-    oracle_config = OracleConfig(memory_latency=args.memory)
+    engines = None if args.engine == "all" else (args.engine,)
+    oracle_config = OracleConfig(memory_latency=args.memory, engines=engines)
     generator_config = GeneratorConfig(
         max_toplevel_stmts=args.max_stmts)
 
@@ -456,7 +475,8 @@ def _cmd_hwcompare(args) -> int:
     from .experiments import hw_compare
 
     runner = BenchmarkRunner(spd_config=_spd_config_from(args),
-                             jobs=args.jobs, passes=_pass_config_from(args))
+                             jobs=args.jobs, passes=_pass_config_from(args),
+                             engine=_engine_from(args))
     names = args.names or None
 
     def produce():
@@ -494,7 +514,8 @@ def _cmd_perf_check(args) -> int:
             names, args.against, num_fus=args.fus,
             memory_latency=args.memory, threshold=args.threshold,
             min_ms=args.min_ms, stages=stages,
-            progress=lambda msg: print(f"  {msg}"))
+            progress=lambda msg: print(f"  {msg}"),
+            engine=_engine_from(args))
     except (OSError, ValueError, json.JSONDecodeError) as error:
         print(f"cannot load baseline {args.against!r}: {error}",
               file=sys.stderr)
@@ -550,7 +571,8 @@ def _cmd_report(args) -> int:
                               table6_1, table6_2, table6_3)
     jobs = args.jobs
     runner = BenchmarkRunner(spd_config=_spd_config_from(args), jobs=jobs,
-                             passes=_pass_config_from(args))
+                             passes=_pass_config_from(args),
+                             engine=_engine_from(args))
     producers = {
         "table6_1": lambda: table6_1.run(),
         "table6_2": lambda: table6_2.run(),
@@ -630,6 +652,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the IR to stderr after this pass "
                             "(repeatable)")
 
+    def add_engine_flag(p):
+        p.add_argument("--engine", choices=semantic_engine_names(),
+                       default=DEFAULT_ENGINE,
+                       help="execution engine for program runs "
+                            "(default %(default)s; all engines are "
+                            "reference-identical, see docs/architecture.md)")
+
     def add_machine_flags(p):
         p.add_argument("--fus", type=int, default=5,
                        help="functional units (0 = infinite machine)")
@@ -637,6 +666,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="memory latency in cycles")
         p.add_argument("--graft", action="store_true",
                        help="enlarge decision trees by tail duplication")
+        add_engine_flag(p)
         add_spd_flags(p)
 
     def add_json_flag(p):
@@ -657,6 +687,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="execute a tinyc program")
     p_run.add_argument("program", help="tinyc source file, or - for stdin")
+    add_engine_flag(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_compile = sub.add_parser("compile", help="dump decision-tree IR")
@@ -736,6 +767,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="memory latency for the oracle's machines")
     p_fuzz.add_argument("--no-reduce", action="store_true",
                         help="archive diverging programs unreduced")
+    p_fuzz.add_argument("--engine",
+                        choices=semantic_engine_names() + ("all",),
+                        default="all",
+                        help="execution backend(s) for the differential "
+                             "checks (default all: every registered "
+                             "semantic engine)")
     add_json_flag(p_fuzz)
     p_fuzz.set_defaults(func=_cmd_fuzz)
 
@@ -746,11 +783,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="benchmarks to sweep (default: all)")
     p_hw.add_argument("--memory", type=int, choices=(2, 6), default=2,
                       help="memory latency in cycles (default 2)")
-    p_hw.add_argument("--predictor", choices=["always", "never",
-                                              "store-set", "oracle"],
+    p_hw.add_argument("--predictor", choices=list(PREDICTOR_NAMES),
                       default="store-set",
                       help="memory-dependence predictor of the hardware "
                            "configs (default store-set)")
+    add_engine_flag(p_hw)
     add_spd_flags(p_hw)
     add_json_flag(p_hw)
     add_jobs_flag(p_hw)
@@ -762,6 +799,7 @@ def build_parser() -> argparse.ArgumentParser:
         "figure6_2", "figure6_3", "figure6_4",
         "ablation_knobs", "ablation_alias_prob", "ablation_grafting",
         "ablation_combined", "all"])
+    add_engine_flag(p_report)
     add_spd_flags(p_report)
     add_json_flag(p_report)
     add_jobs_flag(p_report)
@@ -795,6 +833,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default %(default)s)")
     p_check.add_argument("--fus", type=int, default=5)
     p_check.add_argument("--memory", type=int, choices=(2, 6), default=6)
+    add_engine_flag(p_check)
     p_check.add_argument("--record", metavar="PATH", default=None,
                          help="also append this measurement to a history "
                               "JSONL file")

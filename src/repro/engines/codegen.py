@@ -1,0 +1,606 @@
+"""Tree-to-Python specialization: the compilation technique of the JIT.
+
+Each decision tree is compiled once into a plain Python function whose
+body *is* the tree: every guarded operation becomes an ``if`` statement
+over a local variable, every opcode becomes the inline expression the
+interpreter's dispatch tables would have selected, and registers become
+function locals (loaded from the frame's register dict on entry,
+written back on exit).  The per-step costs of the tree-walking
+interpreter — operand-type tests, dispatch-dict lookups, attribute
+chains, bound-method calls — all disappear; what remains per operation
+is one or two bytecode-level expressions, which is the same
+specialization discipline the paper applies to memory disambiguation
+(compile the check down to a cheap guard).
+
+Exactness contract — the generated code must be observationally
+identical to :meth:`repro.sim.interpreter.Interpreter._execute_tree`:
+
+* unset data registers read as the operand's typed junk value
+  (``0.0`` for float operands, ``0`` otherwise);
+* unset *guard* registers raise ``InterpreterError`` with the
+  interpreter's exact message, and only when actually evaluated
+  (exit guards after the taken exit are never read);
+* speculated loads never fault: an invalid address yields the typed
+  junk value unless ``strict_memory``, where the interpreter's
+  ``_check_addr`` raises its exact message; stores always check;
+* ``FSQRT`` of a negative value commits ``0.0`` instead of trapping;
+  DIV/MOD/FDIV raise through the interpreter's shared helpers;
+* profile collection (committed-op counts, memory traces) and the
+  observability squash tallies byte-match the interpreter's.
+
+Three generation modes share the operation bodies:
+
+``sim``
+    The functional interpreter: memory reads/writes go straight to the
+    memory list; returns the taken exit index (plus profile data when
+    collecting).
+``hw_resolve``
+    The hardware simulator's shadow pass: loads/stores record
+    canonical-address-class events and read through a store overlay;
+    register locals are never written back (the pass runs on a copy).
+``hw_commit``
+    The hardware simulator's authoritative pass: loads/stores go
+    through injected LSQ callbacks; the caller drains the store buffer
+    and evaluates exits (in-order retirement happens *between* the two,
+    so exits cannot move into the generated body).
+
+Generated sources are deterministic functions of (tree structure,
+mode, flags) and therefore double as structural tree fingerprints for
+the bounded code cache in :mod:`repro.engines.jit`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Set
+
+from ..ir.operations import Opcode
+from ..ir.tree import DecisionTree, ExitKind
+from ..ir.values import Constant, FLOAT
+from ..sim.interpreter import BINARY_OPS, InterpreterError
+
+__all__ = ["MISSING", "EXEC_GLOBALS", "generate_tree_source",
+           "generate_function_source"]
+
+#: Sentinel for "register not present in the frame dict" — ``None`` is
+#: unusable because a register can never hold it, but ``0`` is a
+#: legitimate value, so presence needs an out-of-band marker.
+MISSING = object()
+
+
+def _guard_missing(name: str) -> None:
+    raise InterpreterError(
+        f"guard register %{name} read before definition")
+
+
+def _step_limit(max_steps: int) -> None:
+    raise InterpreterError(f"step limit exceeded ({max_steps})")
+
+
+#: Globals every compiled tree function runs under: the sentinel, the
+#: interpreter's shared div/mod helpers (identical error messages) and
+#: the libm entry points the dispatch tables referenced.
+EXEC_GLOBALS = {
+    "_M": MISSING,
+    "_ge": _guard_missing,
+    "_slim": _step_limit,
+    "_ierr": InterpreterError,
+    "_div": BINARY_OPS[Opcode.DIV],
+    "_mod": BINARY_OPS[Opcode.MOD],
+    "_fdiv": BINARY_OPS[Opcode.FDIV],
+    "_sqrt": math.sqrt,
+    "_sin": math.sin,
+    "_cos": math.cos,
+}
+
+#: Inline expression per binary opcode; {a}/{b} are operand expressions.
+#: Semantics are transcribed from the interpreter's _BINARY table.
+_BIN_EXPR = {
+    Opcode.ADD: "({a} + {b})",
+    Opcode.SUB: "({a} - {b})",
+    Opcode.MUL: "({a} * {b})",
+    Opcode.DIV: "_div({a}, {b})",
+    Opcode.MOD: "_mod({a}, {b})",
+    Opcode.AND: "(1 if ({a} and {b}) else 0)",
+    Opcode.ANDN: "(1 if ({a} and not {b}) else 0)",
+    Opcode.OR: "(1 if ({a} or {b}) else 0)",
+    Opcode.XOR: "(1 if bool({a}) != bool({b}) else 0)",
+    Opcode.SHL: "({a} << {b})",
+    Opcode.SHR: "({a} >> {b})",
+    Opcode.CMP_EQ: "(1 if {a} == {b} else 0)",
+    Opcode.CMP_NE: "(1 if {a} != {b} else 0)",
+    Opcode.CMP_LT: "(1 if {a} < {b} else 0)",
+    Opcode.CMP_LE: "(1 if {a} <= {b} else 0)",
+    Opcode.CMP_GT: "(1 if {a} > {b} else 0)",
+    Opcode.CMP_GE: "(1 if {a} >= {b} else 0)",
+    Opcode.FADD: "({a} + {b})",
+    Opcode.FSUB: "({a} - {b})",
+    Opcode.FMUL: "({a} * {b})",
+    Opcode.FDIV: "_fdiv({a}, {b})",
+    Opcode.FCMP_EQ: "(1 if {a} == {b} else 0)",
+    Opcode.FCMP_NE: "(1 if {a} != {b} else 0)",
+    Opcode.FCMP_LT: "(1 if {a} < {b} else 0)",
+    Opcode.FCMP_LE: "(1 if {a} <= {b} else 0)",
+    Opcode.FCMP_GT: "(1 if {a} > {b} else 0)",
+    Opcode.FCMP_GE: "(1 if {a} >= {b} else 0)",
+}
+
+#: Inline expression per unary opcode (the interpreter's _UNARY table;
+#: FSQRT is special-cased in the body emitter for the no-trap rule).
+_UN_EXPR = {
+    Opcode.NEG: "(-{a})",
+    Opcode.NOT: "(0 if {a} else 1)",
+    Opcode.MOV: "{a}",
+    Opcode.FNEG: "(-{a})",
+    Opcode.FMOV: "{a}",
+    Opcode.I2F: "float({a})",
+    Opcode.F2I: "int({a})",
+    Opcode.FSIN: "_sin({a})",
+    Opcode.FCOS: "_cos({a})",
+    Opcode.FABS: "abs({a})",
+}
+
+
+class _Emitter:
+    """Generates the specialized source of one tree, one mode."""
+
+    def __init__(self, tree: DecisionTree, mode: str,
+                 collect_profile: bool, trace_stores: bool,
+                 strict_memory: bool, count_squashes: bool):
+        if mode not in ("sim", "hw_resolve", "hw_commit"):
+            raise ValueError(f"unknown codegen mode {mode!r}")
+        self.tree = tree
+        self.mode = mode
+        self.collect_profile = collect_profile and mode == "sim"
+        self.trace_stores = trace_stores and mode == "sim"
+        self.strict_memory = strict_memory
+        self.count_squashes = count_squashes and mode == "sim"
+        self.lines: List[str] = []
+        self.reg_var: Dict[str, str] = {}
+        #: register names written by at least one op in this tree
+        self.written: Set[str] = set()
+        #: registers guaranteed present as a number at the current
+        #: program point (unguarded writes); reads of these skip the
+        #: sentinel test and writebacks skip the presence test
+        self.definitely_set: Set[str] = set()
+        self.squash_counters: Dict[str, str] = {}
+        self.uses_memory = False
+        self.uses_output = False
+        self.uses_check_addr = False
+        #: at least one op appends to the profile memory trace; trees
+        #: without memory operations return a shared empty tuple instead
+        #: of allocating a fresh list per execution
+        self.uses_mem_trace = False
+
+    # -- small helpers -----------------------------------------------------
+
+    def var(self, name: str) -> str:
+        var = self.reg_var.get(name)
+        if var is None:
+            var = self.reg_var[name] = f"_r{len(self.reg_var)}"
+        return var
+
+    def read(self, operand) -> str:
+        """Expression for one data-operand read (typed junk default)."""
+        if isinstance(operand, Constant):
+            return repr(operand.value)
+        var = self.var(operand.name)
+        if operand.name in self.definitely_set:
+            return var
+        default = "0.0" if operand.type == FLOAT else "0"
+        return f"({var} if {var} is not _M else {default})"
+
+    def emit_guard_check(self, guard, indent: str) -> str:
+        """Emit the definedness check a guard read implies and return
+        the guard's truth expression."""
+        name = guard.reg.name
+        var = self.var(name)
+        if name not in self.definitely_set:
+            self.lines.append(f"{indent}if {var} is _M: _ge({name!r})")
+        return f"not {var}" if guard.negate else var
+
+    # -- operation bodies --------------------------------------------------
+
+    def emit_op_body(self, op, op_index: int, indent: str) -> None:
+        opcode = op.opcode
+        out: List[str] = []
+        if opcode is Opcode.LOAD:
+            self._emit_load(op, op_index, indent, out)
+        elif opcode is Opcode.STORE:
+            self._emit_store(op, op_index, indent, out)
+        elif opcode is Opcode.PRINT:
+            self._emit_print(op, indent, out)
+        elif opcode is Opcode.SELECT:
+            dest = self.var(op.dest.name)
+            out.append(f"{indent}{dest} = {self.read(op.srcs[1])} "
+                       f"if {self.read(op.srcs[0])} "
+                       f"else {self.read(op.srcs[2])}")
+        elif opcode is Opcode.FSQRT:
+            dest = self.var(op.dest.name)
+            out.append(f"{indent}_v = {self.read(op.srcs[0])}")
+            out.append(f"{indent}{dest} = _sqrt(_v) if _v >= 0 else 0.0")
+        elif opcode in _BIN_EXPR:
+            dest = self.var(op.dest.name)
+            expr = _BIN_EXPR[opcode].format(
+                a=self.read(op.srcs[0]), b=self.read(op.srcs[1]))
+            out.append(f"{indent}{dest} = {expr}")
+        else:
+            dest = self.var(op.dest.name)
+            expr = _UN_EXPR[opcode].format(a=self.read(op.srcs[0]))
+            out.append(f"{indent}{dest} = {expr}")
+        if not out:
+            out.append(f"{indent}pass")
+        self.lines.extend(out)
+
+    def _emit_load(self, op, op_index: int, indent: str, out: List[str]) -> None:
+        self.uses_memory = True
+        dest = self.var(op.dest.name)
+        junk = "0.0" if op.dest.type == FLOAT else "0"
+        out.append(f"{indent}_a = {self.read(op.srcs[0])}")
+        out.append(f"{indent}if isinstance(_a, int) and 0 <= _a < _ml:")
+        if self.mode == "hw_resolve":
+            out.append(f"{indent}    _ev.append("
+                       f"({op_index}, False, _co.setdefault(_a, len(_co))))")
+            out.append(f"{indent}    {dest} = _ov.get(_a, memory[_a])")
+        elif self.mode == "hw_commit":
+            out.append(f"{indent}    {dest} = _load({op_index}, _a)")
+        else:
+            out.append(f"{indent}    {dest} = memory[_a]")
+            if self.collect_profile:
+                self.uses_mem_trace = True
+                out.append(f"{indent}    _mt.append(({op.op_id}, _a, False))")
+        if self.strict_memory:
+            self.uses_check_addr = True
+            out.append(f"{indent}else:")
+            out.append(f"{indent}    _ca(_a)")
+        else:
+            out.append(f"{indent}else:")
+            out.append(f"{indent}    {dest} = {junk}")
+
+    def _emit_store(self, op, op_index: int, indent: str, out: List[str]) -> None:
+        self.uses_memory = True
+        self.uses_check_addr = True
+        out.append(f"{indent}_v = {self.read(op.srcs[0])}")
+        out.append(f"{indent}_a = {self.read(op.srcs[1])}")
+        out.append(f"{indent}if not (isinstance(_a, int) and 0 <= _a < _ml): "
+                   f"_ca(_a)")
+        if self.mode == "hw_resolve":
+            out.append(f"{indent}_ev.append("
+                       f"({op_index}, True, _co.setdefault(_a, len(_co))))")
+            out.append(f"{indent}_ov[_a] = _v")
+        elif self.mode == "hw_commit":
+            out.append(f"{indent}_store({op_index}, _a, _v)")
+        else:
+            out.append(f"{indent}memory[_a] = _v")
+            if self.trace_stores:
+                out.append(f"{indent}_st.append((_a, _v))")
+            if self.collect_profile:
+                self.uses_mem_trace = True
+                out.append(f"{indent}_mt.append(({op.op_id}, _a, True))")
+
+    def _emit_print(self, op, indent: str, out: List[str]) -> None:
+        if self.mode == "hw_resolve":
+            # the resolve pass discards output; the operand read is
+            # side-effect free, so nothing to emit
+            return
+        self.uses_output = True
+        out.append(f"{indent}_out.append({self.read(op.srcs[0])})")
+
+    # -- whole-tree generation ---------------------------------------------
+
+    def generate(self) -> str:
+        tree = self.tree
+        body: List[str] = self.lines
+
+        for op_index, op in enumerate(tree.ops):
+            if op.guard is None:
+                self.emit_op_body(op, op_index, "    ")
+                if op.dest is not None:
+                    self.written.add(op.dest.name)
+                    self.definitely_set.add(op.dest.name)
+            else:
+                cond = self.emit_guard_check(op.guard, "    ")
+                start = len(body)
+                body.append(f"    if {cond}:")
+                if self.collect_profile:
+                    body.append("        _c += 1")
+                self.emit_op_body(op, op_index, "        ")
+                if len(body) == start + 1:
+                    body.append("        pass")
+                if self.count_squashes:
+                    counter = self.squash_counters.setdefault(
+                        op.opcode.name,
+                        f"_sqv{len(self.squash_counters)}")
+                    body.append("    else:")
+                    body.append(f"        {counter} += 1")
+                if op.dest is not None:
+                    self.written.add(op.dest.name)
+
+        if self.count_squashes:
+            for name, counter in self.squash_counters.items():
+                body.append(f"    if {counter}: "
+                            f"_sq[{name!r}] = _sq.get({name!r}, 0) + {counter}")
+
+        if self.mode == "hw_resolve":
+            body.append("    return _ev")
+        elif self.mode == "hw_commit":
+            self._emit_writeback(body)
+            body.append("    return None")
+        else:
+            self._emit_exits(body)
+            self._emit_writeback(body)
+            if self.collect_profile:
+                trace = "_mt" if self.uses_mem_trace else "()"
+                body.append(f"    return (_ei, _c, {trace})")
+            else:
+                body.append("    return _ei")
+
+        return "\n".join(self._emit_header() + body) + "\n"
+
+    def _emit_exits(self, body: List[str]) -> None:
+        """Exit selection, first-true-guard wins; ``_ei`` stays ``-1``
+        when no exit fires (the caller raises the interpreter's
+        message).  Sequential so a later exit's undefined guard
+        register is never read once an earlier exit has been taken."""
+        body.append("    _ei = -1")
+        body.append("    while 1:")
+        for index, exit_ in enumerate(self.tree.exits):
+            if exit_.guard is None:
+                body.append(f"        _ei = {index}; break")
+                break
+            cond = self.emit_guard_check(exit_.guard, "        ")
+            body.append(f"        if {cond}:")
+            body.append(f"            _ei = {index}; break")
+        else:
+            body.append("        break")
+
+    def _emit_writeback(self, body: List[str]) -> None:
+        if self.mode == "hw_resolve":
+            return
+        for name in sorted(self.written):
+            var = self.reg_var[name]
+            if name in self.definitely_set:
+                body.append(f"    regs[{name!r}] = {var}")
+            else:
+                body.append(f"    if {var} is not _M: "
+                            f"regs[{name!r}] = {var}")
+
+    def _emit_header(self) -> List[str]:
+        if self.mode == "hw_commit":
+            # the LSQ load/store callbacks are injected per execution
+            header = ["def _tree_fn(regs, memory, interp, _load, _store):"]
+        else:
+            header = ["def _tree_fn(regs, memory, interp):"]
+        if self.reg_var:
+            header.append("    _get = regs.get")
+        for name, var in self.reg_var.items():
+            header.append(f"    {var} = _get({name!r}, _M)")
+        if self.uses_memory:
+            header.append("    _ml = len(memory)")
+        if self.uses_output:
+            header.append("    _out = interp.output")
+        if self.trace_stores:
+            header.append("    _st = interp.store_trace")
+        if self.uses_check_addr:
+            header.append("    _ca = interp._check_addr")
+        if self.count_squashes and self.squash_counters:
+            header.append("    _sq = interp._obs_squashed")
+        for counter in self.squash_counters.values():
+            header.append(f"    {counter} = 0")
+        if self.mode == "hw_resolve":
+            header.append("    _ev = []")
+            header.append("    _co = {}")
+            header.append("    _ov = {}")
+        if self.collect_profile:
+            num_unguarded = sum(1 for op in self.tree.ops
+                                if op.guard is None)
+            header.append(f"    _c = {num_unguarded}")
+            if self.uses_mem_trace:
+                header.append("    _mt = []")
+        return header
+
+
+def generate_tree_source(tree: DecisionTree, mode: str = "sim",
+                         collect_profile: bool = False,
+                         trace_stores: bool = False,
+                         strict_memory: bool = False,
+                         count_squashes: bool = False) -> str:
+    """Source text of the specialized function for *tree* in *mode*.
+
+    The text is a pure function of the tree's structure and the flags,
+    which makes it the cache key of the bounded code cache: trees with
+    identical shape (across programs, even) share one compiled
+    function.
+    """
+    emitter = _Emitter(tree, mode, collect_profile, trace_stores,
+                       strict_memory, count_squashes)
+    return emitter.generate()
+
+
+class _FunctionEmitter(_Emitter):
+    """Whole-function specialization: every tree of one function
+    compiled into a single dispatch loop.
+
+    The payoff over per-tree functions is *register residency*: a GOTO
+    between two trees of the same function — the shape every source
+    loop compiles to (body tree ↔ join tree) — transfers control with
+    ``_t = <index>; continue`` while every register stays a Python
+    local.  The per-tree engine instead wrote all live registers back
+    to the frame dict and re-loaded them on the next tree, which was
+    the dominant per-execution cost of loop-heavy programs.
+
+    Control returns to the interpreter loop only at CALL / RETURN /
+    HALT exits (and at a tree with no true exit guard, reported as
+    exit index ``-1``); the function returns ``(tree_index,
+    exit_index)`` and the engine resolves the exit object.  Step
+    accounting, dynamic-operation counts and per-exit profile tallies
+    are kept in locals and folded into the interpreter in a ``finally``
+    (steps, dynamic ops) or recorded through the live per-tree count
+    lists of ``interp._fcounts`` (exits), so the observable totals
+    byte-match the reference interpreter — including on the error
+    paths, where a mid-tree fault must leave the profile exactly as
+    the tree-walking interpreter would have.
+    """
+
+    def __init__(self, function, collect_profile: bool,
+                 trace_stores: bool, strict_memory: bool,
+                 count_squashes: bool):
+        trees = list(function.trees.values())
+        super().__init__(trees[0] if trees else None, "sim",
+                         collect_profile, trace_stores, strict_memory,
+                         count_squashes)
+        self.function = function
+        self.tree_names = list(function.trees)
+        self.tree_index = {name: i for i, name in enumerate(self.tree_names)}
+        self.any_mem_trace = False
+        self.uses_squash = False
+        self.uses_obs_execs = False
+
+    # -- per-tree fragments --------------------------------------------------
+
+    def _emit_tree(self, idx: int, tname: str) -> None:
+        tree = self.function.trees[tname]
+        self.tree = tree
+        self.definitely_set = set()
+        self.uses_mem_trace = False
+        body = self.lines
+        indent = "                "
+
+        kw = "if" if idx == 0 else "elif"
+        body.append(f"            {kw} _t == {idx}:")
+        body.append(f"{indent}_steps += {len(tree.ops) + 1}")
+        body.append(f"{indent}if _steps > _max: _slim(_max)")
+        if self.count_squashes:
+            self.uses_obs_execs = True
+            key = repr((self.function.name, tname))
+            body.append(f"{indent}_ote[{key}] = _ote.get({key}, 0) + 1")
+        if self.collect_profile:
+            num_unguarded = sum(1 for op in tree.ops if op.guard is None)
+            body.append(f"{indent}_c = {num_unguarded}")
+        trace_mark = len(body)
+
+        for op_index, op in enumerate(tree.ops):
+            if op.guard is None:
+                self.emit_op_body(op, op_index, indent)
+                if op.dest is not None:
+                    self.written.add(op.dest.name)
+                    self.definitely_set.add(op.dest.name)
+            else:
+                cond = self.emit_guard_check(op.guard, indent)
+                start = len(body)
+                body.append(f"{indent}if {cond}:")
+                if self.collect_profile:
+                    body.append(f"{indent}    _c += 1")
+                self.emit_op_body(op, op_index, indent + "    ")
+                if len(body) == start + 1:
+                    body.append(f"{indent}    pass")
+                if self.count_squashes:
+                    # squashes are rare and only counted under a
+                    # tracer: direct dict increments (as the reference
+                    # interpreter does) beat per-site local counters
+                    # that would need flushing at every exit
+                    self.uses_squash = True
+                    name = op.opcode.name
+                    body.append(f"{indent}else:")
+                    body.append(f"{indent}    _sq[{name!r}] = "
+                                f"_sq.get({name!r}, 0) + 1")
+                if op.dest is not None:
+                    self.written.add(op.dest.name)
+
+        if self.uses_mem_trace:
+            body.insert(trace_mark, f"{indent}_mt = []")
+            self.any_mem_trace = True
+        if self.collect_profile:
+            body.append(f"{indent}_dyn += _c")
+            if self.uses_mem_trace:
+                body.append(f"{indent}if len(_mt) > 1: "
+                            f"_rap({self.function.name!r}, {tname!r}, _mt)")
+
+        # exit selection with the exit's action inlined: control never
+        # reaches a later guard once an earlier exit fired, preserving
+        # the interpreter's sequential never-read-after-taken rule
+        for eidx, exit_ in enumerate(tree.exits):
+            if exit_.guard is None:
+                self._emit_exit_action(idx, eidx, exit_, indent)
+                break
+            cond = self.emit_guard_check(exit_.guard, indent)
+            body.append(f"{indent}if {cond}:")
+            self._emit_exit_action(idx, eidx, exit_, indent + "    ")
+        else:
+            body.append(f"{indent}_rv = ({idx}, -1)")
+            body.append(f"{indent}break")
+
+    def _emit_exit_action(self, tree_idx: int, exit_idx: int, exit_,
+                          indent: str) -> None:
+        body = self.lines
+        if self.collect_profile:
+            body.append(f"{indent}_cb[{tree_idx}][{exit_idx}] += 1")
+        if exit_.kind is ExitKind.GOTO and exit_.target in self.tree_index:
+            body.append(f"{indent}_t = {self.tree_index[exit_.target]}")
+            body.append(f"{indent}continue")
+        else:
+            body.append(f"{indent}_rv = ({tree_idx}, {exit_idx})")
+            body.append(f"{indent}break")
+
+    # -- whole-function generation -------------------------------------------
+
+    def generate(self) -> str:
+        body = self.lines
+        body.append("    try:")
+        body.append("        while 1:")
+        for idx, tname in enumerate(self.tree_names):
+            self._emit_tree(idx, tname)
+        body.append("            else:")
+        body.append("                raise _ierr("
+                    "'unknown tree index %d' % _t)")
+        body.append("    finally:")
+        body.append("        interp.steps = _steps")
+        if self.collect_profile:
+            body.append("        interp.profile.dynamic_operations += _dyn")
+        for name in sorted(self.written):
+            var = self.reg_var[name]
+            body.append(f"    if {var} is not _M: regs[{name!r}] = {var}")
+        body.append("    return _rv")
+        return "\n".join(self._emit_func_header() + body) + "\n"
+
+    def _emit_func_header(self) -> List[str]:
+        header = ["def _func_fn(regs, memory, interp, _t):"]
+        if self.reg_var:
+            header.append("    _get = regs.get")
+        for name, var in self.reg_var.items():
+            header.append(f"    {var} = _get({name!r}, _M)")
+        if self.uses_memory:
+            header.append("    _ml = len(memory)")
+        if self.uses_output:
+            header.append("    _out = interp.output")
+        if self.trace_stores:
+            header.append("    _st = interp.store_trace")
+        if self.uses_check_addr:
+            header.append("    _ca = interp._check_addr")
+        header.append("    _steps = interp.steps")
+        header.append("    _max = interp.max_steps")
+        if self.uses_obs_execs:
+            header.append("    _ote = interp._obs_tree_execs")
+        if self.uses_squash:
+            header.append("    _sq = interp._obs_squashed")
+        if self.collect_profile:
+            header.append("    _dyn = 0")
+            header.append(f"    _cb = interp._fcounts[{self.function.name!r}]")
+            if self.any_mem_trace:
+                header.append("    _rap = interp._record_alias_pairs_keyed")
+        return header
+
+
+def generate_function_source(function, collect_profile: bool = False,
+                             trace_stores: bool = False,
+                             strict_memory: bool = False,
+                             count_squashes: bool = False) -> str:
+    """Source text of the whole-function dispatch loop for the JIT
+    engine (see :class:`_FunctionEmitter`).  Like the per-tree variant,
+    the text is a pure function of structure + flags and doubles as the
+    bounded code cache's key — with the caveat that the function and
+    tree *names* appear in profile/observability keys, so cross-program
+    sharing needs matching names as well as matching structure."""
+    emitter = _FunctionEmitter(function, collect_profile, trace_stores,
+                               strict_memory, count_squashes)
+    return emitter.generate()

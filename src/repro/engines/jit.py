@@ -1,0 +1,212 @@
+"""The ``jit`` execution engine: compile-and-cache tree execution.
+
+:class:`JitInterpreter` subclasses the reference interpreter and swaps
+the execution core: the first time a function is entered, *all* of its
+decision trees are compiled into one specialized Python function (see
+:mod:`repro.engines.codegen`) whose dispatch loop keeps registers in
+Python locals across intra-function GOTOs — the transfer every source
+loop compiles to.  Control returns to the (inherited) CALL/RETURN
+plumbing only at inter-function exits.  Profile aggregation and
+observability flushing stay shared with the reference engine, so the
+two engines differ only in how a tree's operations are executed — which
+is exactly the part the tree-walking interpreter spends its time in.
+
+Compiled code is cached at two levels:
+
+* per interpreter, function name → compiled entry — one dict hit per
+  function entry/resume;
+* process-wide, generated source → function object, bounded LRU
+  (:data:`CODE_CACHE_CAPACITY`).  The generated source is a
+  deterministic structural fingerprint of the function's trees, so
+  identical functions across programs (fuzz campaigns generate
+  thousands of near-identical ones) share one ``compile()``/``exec()``.
+
+Cache behaviour is observable as ``engines.jit.cache_hits`` /
+``cache_misses`` / ``cache_evictions`` / ``compiles`` counters (see
+docs/observability.md).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Tuple
+
+from .. import obs
+from ..ir.program import Program
+from ..ir.tree import ExitKind
+from ..sim.interpreter import (Interpreter, InterpreterError, Number,
+                               RunResult, _Frame)
+from .codegen import EXEC_GLOBALS, generate_function_source
+
+__all__ = ["CODE_CACHE_CAPACITY", "compiled_fn", "code_cache_size",
+           "clear_code_cache", "JitInterpreter", "run_program_jit"]
+
+#: Process-wide bound on distinct compiled tree functions kept alive.
+#: Sized for whole fuzz campaigns (a few hundred distinct tree shapes);
+#: eviction only costs a recompile, never changes behaviour.
+CODE_CACHE_CAPACITY = 512
+
+_code_cache: "OrderedDict[str, Callable]" = OrderedDict()
+
+
+def compiled_fn(source: str) -> Callable:
+    """The compiled function for a generated tree source, LRU-cached.
+
+    The source text *is* the cache key: it is a pure function of the
+    tree structure and the generation flags.
+    """
+    fn = _code_cache.get(source)
+    if fn is not None:
+        _code_cache.move_to_end(source)
+        obs.incr("engines.jit.cache_hits")
+        return fn
+    obs.incr("engines.jit.cache_misses")
+    obs.incr("engines.jit.compiles")
+    namespace = dict(EXEC_GLOBALS)
+    exec(compile(source, "<repro-jit-tree>", "exec"), namespace)
+    # per-tree sources define _tree_fn, whole-function sources _func_fn
+    fn = namespace.get("_tree_fn") or namespace["_func_fn"]
+    _code_cache[source] = fn
+    if len(_code_cache) > CODE_CACHE_CAPACITY:
+        _code_cache.popitem(last=False)
+        obs.incr("engines.jit.cache_evictions")
+    return fn
+
+
+def code_cache_size() -> int:
+    return len(_code_cache)
+
+
+def clear_code_cache() -> None:
+    _code_cache.clear()
+
+
+class JitInterpreter(Interpreter):
+    """Interpreter-identical execution through compiled functions."""
+
+    #: tree/exit counts are recorded by the compiled code (live per-exit
+    #: count lists, folded in ``_run``), not by a per-execution
+    #: ``record_tree`` in a dispatch loop
+    _profile_in_engine = True
+
+    def __init__(self, program: Program, max_steps: int = 200_000_000,
+                 collect_profile: bool = True, strict_memory: bool = False,
+                 trace_stores: bool = False):
+        super().__init__(program, max_steps=max_steps,
+                         collect_profile=collect_profile,
+                         strict_memory=strict_memory,
+                         trace_stores=trace_stores)
+        #: function name -> [fn, tree names, name -> index, exits per
+        #: tree index, obs_variant]
+        self._ffns: Dict[str, list] = {}
+        #: function name -> per-exit count lists, indexed by tree index;
+        #: the compiled code increments these in place
+        self._fcounts: Dict[str, List[List[int]]] = {}
+        #: the same lists keyed the way ``ProfileData`` keys them
+        self._counts: Dict[Tuple[str, str], List[int]] = {}
+
+    def _run(self, args: Tuple[Number, ...]) -> RunResult:
+        try:
+            return self._run_compiled(args)
+        finally:
+            if self.collect_profile:
+                # tree_counts is exit_counts summed, and a tree whose
+                # counts are all zero never completed an execution —
+                # the reference interpreter has no row for it at all
+                ec = self.profile.exit_counts
+                tc = self.profile.tree_counts
+                for key, counts in self._counts.items():
+                    if any(counts):
+                        ec[key] = counts
+                        tc[key] = sum(counts)
+
+    def _run_compiled(self, args: Tuple[Number, ...]) -> RunResult:
+        self._obs_on = obs.is_enabled()
+        program = self.program
+        entry = program.functions[program.entry_function]
+        if len(args) != len(entry.params):
+            raise InterpreterError(
+                f"entry function expects {len(entry.params)} args, got {len(args)}")
+        regs = {p.name: v for p, v in zip(entry.params, args)}
+        frame = _Frame(entry.name, entry.entry, regs)
+        stack: List[_Frame] = []
+        return_value = None
+        memory = self.memory
+        ffns = self._ffns
+
+        while True:
+            fentry = ffns.get(frame.function)
+            if fentry is None or fentry[4] != self._obs_on:
+                fentry = self._compile_function(frame.function)
+            tree_idx, exit_idx = fentry[0](frame.regs, memory, self,
+                                           fentry[2][frame.tree])
+            if exit_idx < 0:
+                raise InterpreterError(
+                    f"tree {frame.function}.{fentry[1][tree_idx]}: "
+                    f"no exit taken")
+            exit_ = fentry[3][tree_idx][exit_idx]
+            kind = exit_.kind
+            if kind is ExitKind.CALL:
+                callee = program.functions[exit_.callee]
+                values = [self._read(frame.regs, a) for a in exit_.args]
+                frame.resume_tree = exit_.target
+                frame.result_reg = exit_.result.name if exit_.result else None
+                stack.append(frame)
+                if len(stack) > 100_000:
+                    raise InterpreterError("call-stack overflow")
+                frame = _Frame(callee.name, callee.entry,
+                               {p.name: v for p, v in zip(callee.params,
+                                                          values)})
+            elif kind is ExitKind.RETURN:
+                value = (self._read(frame.regs, exit_.value)
+                         if exit_.value is not None else None)
+                if not stack:
+                    return_value = value
+                    break
+                frame = stack.pop()
+                if frame.result_reg is not None:
+                    if value is None:
+                        raise InterpreterError(
+                            "void return where value expected")
+                    frame.regs[frame.result_reg] = value
+                frame.tree = frame.resume_tree
+            elif kind is ExitKind.GOTO:
+                # in-function GOTOs are consumed inside the compiled
+                # dispatch loop; this only fires for a (malformed)
+                # cross-function target, handled like the reference
+                frame.tree = exit_.target
+            else:  # HALT
+                break
+
+        return RunResult(self.output, self.profile, self.steps, return_value)
+
+    def _compile_function(self, name: str) -> list:
+        func = self.program.functions[name]
+        source = generate_function_source(
+            func, collect_profile=self.collect_profile,
+            trace_stores=self.trace_stores, strict_memory=self.strict_memory,
+            # squash tallies only exist under a tracer; the obs variant
+            # is re-generated if tracing flips between runs
+            count_squashes=self._obs_on)
+        if self.collect_profile and name not in self._fcounts:
+            counts = self._fcounts[name] = [
+                [0] * len(tree.exits) for tree in func.trees.values()]
+            for tname, row in zip(func.trees, counts):
+                self._counts[(name, tname)] = row
+        tree_names = list(func.trees)
+        fentry = [compiled_fn(source), tree_names,
+                  {t: i for i, t in enumerate(tree_names)},
+                  [tree.exits for tree in func.trees.values()],
+                  self._obs_on]
+        self._ffns[name] = fentry
+        return fentry
+
+
+def run_program_jit(program: Program, args: Tuple[Number, ...] = (),
+                    collect_profile: bool = True,
+                    max_steps: int = 200_000_000,
+                    strict_memory: bool = False) -> RunResult:
+    """Execute *program* through the JIT engine (reference-identical)."""
+    return JitInterpreter(program, max_steps=max_steps,
+                          collect_profile=collect_profile,
+                          strict_memory=strict_memory).run(args)

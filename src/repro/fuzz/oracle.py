@@ -44,10 +44,12 @@ from typing import Callable, Dict, List, Optional, Tuple
 from .. import obs
 from ..disambig.pipeline import Disambiguator, disambiguate
 from ..disambig.spd_heuristic import SpDConfig
+from ..engines import get_engine, semantic_engine_names
 from ..frontend.driver import compile_source
 from ..frontend.errors import CompileError
 from ..frontend.grafting import graft_program
 from ..hwsim.core import HwSimulator
+from ..hwsim.predictor import predictor_names
 from ..machine.description import machine
 from ..machine.hw import HW_ORACLE_INFINITE, hw_machine
 from ..passes import DEFAULT_CLEANUP, PassPipelineConfig
@@ -55,7 +57,44 @@ from ..sim.evaluate import evaluate_program
 from ..sim.interpreter import Interpreter, InterpreterError
 
 __all__ = ["OracleConfig", "Divergence", "ConformanceReport",
+           "register_execution_backend", "execution_backend_names",
            "check_source", "make_divergence_predicate"]
+
+#: Execution backends registered beyond the engine registry.  A factory
+#: has the engine-executor calling convention:
+#: ``factory(program, max_steps=..., collect_profile=...,
+#: trace_stores=...)`` returning an interpreter-compatible executor.
+_EXTRA_BACKENDS: Dict[str, Callable[..., object]] = {}
+
+
+def register_execution_backend(name: str,
+                               factory: Callable[..., object]) -> None:
+    """Register an additional differential execution backend.
+
+    The registered semantic engines (:mod:`repro.engines`) participate
+    automatically; this hook is for prototype executors that are not
+    (yet) full engines.
+    """
+    _EXTRA_BACKENDS[name] = factory
+
+
+def execution_backend_names() -> Tuple[str, ...]:
+    """Every backend the oracle cross-checks by default: the semantic
+    engines, in registration order, then the extra registrations."""
+    names = list(semantic_engine_names())
+    names.extend(n for n in _EXTRA_BACKENDS if n not in names)
+    return tuple(names)
+
+
+def _make_executor(name: str, program, max_steps: int,
+                   collect_profile: bool):
+    factory = _EXTRA_BACKENDS.get(name)
+    if factory is None:
+        return get_engine(name).executor(
+            program, max_steps=max_steps, collect_profile=collect_profile,
+            trace_stores=True)
+    return factory(program, max_steps=max_steps,
+                   collect_profile=collect_profile, trace_stores=True)
 
 #: SpD knob grid: the paper's defaults, a tight budget (small
 #: MaxExpansion, high MinGain) and the profile-weighted ablation.
@@ -95,11 +134,19 @@ class OracleConfig:
     #: variant already sweeps every sequence)
     grafted_cleanup_sequences: Tuple[Tuple[str, ...], ...] = \
         ((), DEFAULT_CLEANUP)
+    #: execution backends every semantic comparison runs under
+    #: (``None`` = all registered: the semantic engines plus any
+    #: :func:`register_execution_backend` extras).  The first listed
+    #: backend is the primary; others are labelled ``stage@engine``.
+    engines: Optional[Tuple[str, ...]] = None
     #: run the hardware simulator as a differential backend: the base
     #: program under each of these predictors, plus the SPEC view under
-    #: the last one, all against the reference interpreter
+    #: the last one, all against the reference interpreter.  The default
+    #: is every registered predictor policy except the oracle (which the
+    #: sweep runs separately as the unbounded lower-bound machine).
     check_hardware: bool = True
-    hw_predictors: Tuple[str, ...] = ("always", "never", "store-set")
+    hw_predictors: Tuple[str, ...] = tuple(
+        name for name in predictor_names() if name != "oracle")
     #: deliberately tight hardware shape — 2 units, 8-entry window —
     #: so the window/retirement logic is exercised, not just bypassing
     hw_num_fus: int = 2
@@ -185,26 +232,36 @@ def _view_label(kind: Disambiguator, spd: SpDConfig,
 def _compare_execution(report: ConformanceReport, label: str,
                        reference, ref_interp: Interpreter,
                        view_program, max_steps: int,
-                       collect_profile: bool = False
+                       collect_profile: bool = False,
+                       engines: Optional[Tuple[str, ...]] = None
                        ) -> Optional[Tuple[object, Interpreter]]:
-    """Re-execute a transformed view and diff it against the reference.
+    """Re-execute a transformed view under every configured execution
+    backend and diff each run against the reference.
 
-    Returns the (result, interpreter) pair when execution succeeded so
-    callers can reuse the run (the grafted variant needs its profile),
-    ``None`` on a crash divergence.
+    Returns the first backend's (result, executor) pair when its
+    execution succeeded so callers can reuse the run (the grafted
+    variant needs its profile), ``None`` if it crashed.  Runs beyond
+    the first are labelled ``stage@engine`` (the bare ``interp`` run
+    keeps the historical plain label).
     """
-    try:
-        interp = Interpreter(view_program, max_steps=max_steps,
-                             collect_profile=collect_profile,
-                             trace_stores=True)
-        result = interp.run()
-    except InterpreterError as exc:
-        report.divergences.append(Divergence(
-            label, "crash", f"transformed program failed: {exc}"))
-        return None
-    report.executions += 1
-    _diff_results(report, label, reference, ref_interp, result, interp)
-    return result, interp
+    names = execution_backend_names() if engines is None else engines
+    primary: Optional[Tuple[object, Interpreter]] = None
+    for index, engine in enumerate(names):
+        exec_label = label if engine == "interp" else f"{label}@{engine}"
+        try:
+            executor = _make_executor(engine, view_program, max_steps,
+                                      collect_profile)
+            result = executor.run()
+        except InterpreterError as exc:
+            report.divergences.append(Divergence(
+                exec_label, "crash", f"transformed program failed: {exc}"))
+            continue
+        report.executions += 1
+        _diff_results(report, exec_label, reference, ref_interp, result,
+                      executor)
+        if index == 0:
+            primary = (result, executor)
+    return primary
 
 
 def _diff_results(report: ConformanceReport, label: str,
@@ -272,6 +329,17 @@ def check_source(source: str,
             report.error = f"frontend crash {type(exc).__name__}: {exc}"
             return report
 
+        engines = (execution_backend_names() if config.engines is None
+                   else config.engines)
+        # the untransformed program under every non-reference backend:
+        # an engine miscompile diverges here even when every view is
+        # semantically clean
+        other_engines = tuple(e for e in engines if e != "interp")
+        if other_engines:
+            _compare_execution(report, "base", reference, ref_interp,
+                               program, config.max_steps,
+                               engines=other_engines)
+
         variants = [("", program, reference, ref_interp,
                      config.cleanup_sequences)]
         if config.check_grafted:
@@ -287,7 +355,8 @@ def check_source(source: str,
                 # views against its own profile (tree names differ)
                 executed = _compare_execution(
                     report, "graft", reference, ref_interp, grafted,
-                    config.max_steps, collect_profile=True)
+                    config.max_steps, collect_profile=True,
+                    engines=engines)
                 if executed is not None:
                     graft_ref, graft_interp = executed
                     variants.append(("graft:", grafted, graft_ref,
@@ -297,7 +366,8 @@ def check_source(source: str,
         for (prefix, variant_program, variant_ref, variant_interp,
              cleanup_grid) in variants:
             _check_views(report, config, prefix, variant_program,
-                         variant_ref, variant_interp, cleanup_grid)
+                         variant_ref, variant_interp, cleanup_grid,
+                         engines)
         if config.check_hardware:
             _check_hardware(report, config, program, reference, ref_interp)
         if report.divergences:
@@ -308,7 +378,8 @@ def check_source(source: str,
 def _check_views(report: ConformanceReport, config: OracleConfig,
                  prefix: str, program, reference,
                  ref_interp: Interpreter,
-                 cleanup_grid: Tuple[Tuple[str, ...], ...]) -> None:
+                 cleanup_grid: Tuple[Tuple[str, ...], ...],
+                 engines: Tuple[str, ...]) -> None:
     """Sweep one compiled variant through every disambiguated view."""
     profile = reference.profile
     infinite = machine(None, config.memory_latency)
@@ -339,7 +410,7 @@ def _check_views(report: ConformanceReport, config: OracleConfig,
                 if view.program is not program:
                     _compare_execution(report, label, reference,
                                        ref_interp, view.program,
-                                       config.max_steps)
+                                       config.max_steps, engines=engines)
 
                 # metamorphic timing invariants
                 try:

@@ -33,10 +33,13 @@ replayed from the memo so training and statistics stay exact on hits.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .. import obs
+from ..engines.codegen import generate_tree_source
+from ..engines.jit import compiled_fn
 from ..ir.operations import Opcode, Operation
 from ..ir.program import Program
 from ..ir.values import FLOAT
@@ -61,6 +64,7 @@ class HwStats:
     squashes: int = 0            #: distinct loads squashed & replayed
     memo_hits: int = 0
     memo_misses: int = 0
+    memo_evictions: int = 0      #: LRU entries dropped at memo_capacity
 
     @property
     def replays(self) -> int:
@@ -77,6 +81,7 @@ class HwStats:
             "replays": self.replays,
             "memo_hits": self.memo_hits,
             "memo_misses": self.memo_misses,
+            "memo_evictions": self.memo_evictions,
         }
 
 
@@ -117,7 +122,7 @@ class HwSimulator(Interpreter):
 
     def __init__(self, program: Program, machine: HwMachine,
                  max_steps: int = 200_000_000, strict_memory: bool = False,
-                 trace_stores: bool = False):
+                 trace_stores: bool = False, use_jit: bool = True):
         super().__init__(program, max_steps=max_steps, collect_profile=False,
                          strict_memory=strict_memory,
                          trace_stores=trace_stores)
@@ -126,9 +131,14 @@ class HwSimulator(Interpreter):
         self.predictor: DependencePredictor = make_predictor(machine.predictor)
         self.cycles = 0
         self.stats = HwStats()
+        #: compiled resolve/commit passes; ``False`` keeps the original
+        #: op-dispatch passes (the equivalence tests run both and diff)
+        self.use_jit = use_jit
         self._contexts: Dict[Tuple[str, str], TreeContext] = {}
+        #: (resolve_fn|None, commit_fn, has_mem) per tree
+        self._jit: Dict[Tuple[str, str], tuple] = {}
         self._memo: Dict[Tuple[str, str],
-                         Dict[tuple, EngineResult]] = {}
+                         "OrderedDict[tuple, EngineResult]"] = {}
 
     # -- public API ----------------------------------------------------------
 
@@ -146,6 +156,8 @@ class HwSimulator(Interpreter):
                 obs.incr("hwsim.replays", stats.replays)
                 obs.incr("hwsim.memo_hits", stats.memo_hits)
                 obs.incr("hwsim.memo_misses", stats.memo_misses)
+                obs.incr("hwsim.memo.hits", stats.memo_hits)
+                obs.incr("hwsim.memo.evictions", stats.memo_evictions)
                 span.annotate(cycles=self.cycles, steps=base.steps,
                               squashes=stats.squashes,
                               machine_config=self.machine.to_dict())
@@ -164,32 +176,67 @@ class HwSimulator(Interpreter):
         ctx = self._contexts.get(key)
         if ctx is None:
             ctx = self._contexts[key] = TreeContext(tree, self.machine)
-            self._memo[key] = {}
+            self._memo[key] = OrderedDict()
+            if self.use_jit:
+                self._jit[key] = self._compile_tree(tree)
         self.stats.tree_executions += 1
 
         self.steps += len(tree.ops) + 1
         if self.steps > self.max_steps:
             raise InterpreterError(f"step limit exceeded ({self.max_steps})")
 
-        events, bypass, decision_sig = self._resolve(frame, tree)
-        memo_key = (tuple((e.node, e.is_store, e.addr_class) for e in events),
-                    decision_sig)
+        commit_fn = None
+        if self.use_jit:
+            resolve_fn, commit_fn, has_mem = self._jit[key]
+            if has_mem:
+                events = resolve_fn(dict(frame.regs), self.memory, self)
+                bypass, decision_sig = self._decide(frame, tree, events)
+            else:
+                # no memory ops: the resolve pass can only ever produce
+                # an empty event list, so skip it outright
+                events, bypass, decision_sig = (), {}, ()
+        else:
+            events, bypass, decision_sig = self._resolve(frame, tree)
+        # MemEvent is a NamedTuple, so slow-path events hash/compare
+        # identically to the compiled pass's plain tuples — both
+        # simulator modes share memo entries
+        memo_key = (tuple(events), decision_sig)
         memo = self._memo[key]
         result = memo.get(memo_key)
         if result is None:
             result = simulate_tree(ctx, self.machine, events, bypass)
             memo[memo_key] = result
             self.stats.memo_misses += 1
+            capacity = self.machine.memo_capacity
+            if capacity is not None and len(memo) > capacity:
+                memo.popitem(last=False)
+                self.stats.memo_evictions += 1
         else:
+            memo.move_to_end(memo_key)
             self.stats.memo_hits += 1
         self._account(frame, tree, result)
 
-        exit_, exit_index = self._commit(frame, tree, events, result)
+        exit_, exit_index = self._commit(frame, tree, events, result,
+                                         commit_fn)
         tree_cycles = result.path_times[exit_index]
         self.cycles += tree_cycles
         if obs.is_enabled():
             obs.observe("hwsim.tree_cycles", tree_cycles)
         return exit_, exit_index
+
+    def _compile_tree(self, tree) -> tuple:
+        """Compile the tree's resolve and commit passes (shared bounded
+        code cache with the ``jit`` engine — the generated source is
+        the key, so identical tree shapes compile once per process)."""
+        has_mem = any(op.opcode is Opcode.LOAD or op.opcode is Opcode.STORE
+                      for op in tree.ops)
+        resolve_fn = None
+        if has_mem:
+            resolve_fn = compiled_fn(generate_tree_source(
+                tree, mode="hw_resolve", strict_memory=self.strict_memory))
+        commit_fn = compiled_fn(generate_tree_source(
+            tree, mode="hw_commit", strict_memory=self.strict_memory))
+        return resolve_fn, commit_fn, has_mem
 
     def _op_key(self, frame, tree, node: int) -> OpKey:
         return (frame.function, frame.tree, tree.ops[node].op_id)
@@ -217,61 +264,70 @@ class HwSimulator(Interpreter):
         overlay: Dict[int, Number] = {}
         memory = self.memory
         events: List[MemEvent] = []
-        addrs: List[int] = []
         class_of: Dict[int, int] = {}
 
         def load_fn(op: Operation, addr: int) -> Number:
-            self._add_event(events, addrs, class_of, op_index, False, addr)
+            self._add_event(events, class_of, op_index, False, addr)
             return overlay.get(addr, memory[addr])
 
         def store_fn(op: Operation, addr: int, value: Number) -> None:
-            self._add_event(events, addrs, class_of, op_index, True, addr)
+            self._add_event(events, class_of, op_index, True, addr)
             overlay[addr] = value
 
         for op_index, op in enumerate(tree.ops):
             if self._guard_true(regs, op.guard):
                 self._step_op(op, regs, load_fn, store_fn, lambda value: None)
 
+        bypass, decision_sig = self._decide(frame, tree, events)
+        return events, bypass, decision_sig
+
+    def _decide(self, frame, tree, events):
+        """The predictor's bypass decision for every (earlier store,
+        load) event pair, plus the flat decision signature the memo is
+        keyed on.  Events are indexed positionally (they may be plain
+        tuples from the compiled resolve pass)."""
         bypass: Dict[Tuple[int, int], bool] = {}
         decisions: List[bool] = []
         for li, load in enumerate(events):
-            if load.is_store:
+            if load[1]:
                 continue
-            load_key = self._op_key(frame, tree, load.node)
+            load_key = self._op_key(frame, tree, load[0])
             for si in range(li):
                 store = events[si]
-                if not store.is_store:
+                if not store[1]:
                     continue
                 if self.is_oracle:
-                    decision = store.addr_class != load.addr_class
+                    decision = store[2] != load[2]
                 else:
                     decision = self.predictor.may_bypass(
-                        load_key, self._op_key(frame, tree, store.node))
+                        load_key, self._op_key(frame, tree, store[0]))
                 bypass[(si, li)] = decision
                 decisions.append(decision)
-        return events, bypass, tuple(decisions)
+        return bypass, tuple(decisions)
 
     @staticmethod
-    def _add_event(events, addrs, class_of, node: int, is_store: bool,
+    def _add_event(events, class_of, node: int, is_store: bool,
                    addr: int) -> None:
         cls = class_of.setdefault(addr, len(class_of))
         events.append(MemEvent(node, is_store, cls))
-        addrs.append(addr)
 
     # -- pass 3: LSQ-ordered commit ------------------------------------------
 
-    def _commit(self, frame, tree, events, result: EngineResult):
+    def _commit(self, frame, tree, events, result: EngineResult,
+                commit_fn=None):
         """The authoritative pass: recompute the tree sequentially, but
         draw every load's value from the load/store queue ordering the
         engine produced.  Stores drain to memory at tree exit in program
-        order (in-order retirement)."""
+        order (in-order retirement) — *before* the exit guards are
+        evaluated, which is why the compiled commit pass returns to this
+        method instead of selecting the exit itself."""
         regs = frame.regs
         memory = self.memory
-        event_of_node = {e.node: i for i, e in enumerate(events)}
+        event_of_node = {e[0]: i for i, e in enumerate(events)}
         store_vals: Dict[int, Tuple[int, Number]] = {}
         pending_stores: List[Tuple[int, Number]] = []
 
-        def load_fn(op: Operation, addr: int) -> Number:
+        def load_by_index(op_index: int, addr: int) -> Number:
             ei = event_of_node.get(op_index)
             if ei is None:
                 # not timed by the engine (only possible after an engine
@@ -281,25 +337,32 @@ class HwSimulator(Interpreter):
                         return st_val
                 return memory[addr]
             horizon = result.final_issue[ei]
-            best: Optional[Number] = None
             for si in range(ei - 1, -1, -1):
                 done = store_vals.get(si)
                 if (done is not None and done[0] == addr
                         and result.mem_completion[si] <= horizon):
-                    best = done[1]
-                    break
-            return memory[addr] if best is None else best
+                    return done[1]
+            return memory[addr]
 
-        def store_fn(op: Operation, addr: int, value: Number) -> None:
+        def store_by_index(op_index: int, addr: int, value: Number) -> None:
             ei = event_of_node.get(op_index)
             if ei is not None:
                 store_vals[ei] = (addr, value)
             pending_stores.append((addr, value))
 
-        for op_index, op in enumerate(tree.ops):
-            if not self._guard_true(regs, op.guard):
-                continue
-            self._step_op(op, regs, load_fn, store_fn, self.output.append)
+        if commit_fn is not None:
+            commit_fn(regs, memory, self, load_by_index, store_by_index)
+        else:
+            def load_fn(op: Operation, addr: int) -> Number:
+                return load_by_index(op_index, addr)
+
+            def store_fn(op: Operation, addr: int, value: Number) -> None:
+                store_by_index(op_index, addr, value)
+
+            for op_index, op in enumerate(tree.ops):
+                if not self._guard_true(regs, op.guard):
+                    continue
+                self._step_op(op, regs, load_fn, store_fn, self.output.append)
 
         for addr, value in pending_stores:
             memory[addr] = value

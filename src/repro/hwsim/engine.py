@@ -44,7 +44,7 @@ assert bit-identical repeat runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from ..ir.depgraph import (AliasAnswer, ArcKind, DependenceGraph,
                            build_dependence_graph)
@@ -67,14 +67,19 @@ def _no_alias_oracle(op_a, op_b) -> AliasAnswer:
     return AliasAnswer.NO
 
 
-@dataclass(frozen=True)
-class MemEvent:
+class MemEvent(NamedTuple):
     """One guard-true memory access of a tree execution, program order.
 
     ``addr_class`` is the canonical address-equality class (addresses
     renamed by first occurrence), which is all the timing model needs —
     and what makes executions with different absolute addresses but the
     same aliasing pattern share a memo entry.
+
+    A ``NamedTuple`` rather than a dataclass: the event sequence itself
+    is the memo key, and the compiled resolve pass of
+    :mod:`repro.engines` emits plain ``(node, is_store, addr_class)``
+    tuples that must compare and hash identically.  Engine code indexes
+    events positionally for the same reason.
     """
 
     node: int        #: graph node index of the LOAD/STORE
@@ -135,10 +140,10 @@ class EngineResult:
     violations: Tuple[Tuple[int, int], ...]  #: (load node, store node)
     slots_used: int                 #: FU issue slots consumed (incl. replays)
     spec_issues: int                #: loads issued past an unknown store
-
-    @property
-    def squashes(self) -> int:
-        return len({load for load, _store in self.violations})
+    #: distinct loads squashed & replayed (each replays exactly once);
+    #: stored rather than derived — results are memo-replayed on every
+    #: hit, so the accounting pass must not rebuild a set each time
+    squashes: int = 0
 
 
 def simulate_tree(ctx: TreeContext, machine: HwMachine,
@@ -156,25 +161,27 @@ def simulate_tree(ctx: TreeContext, machine: HwMachine,
     completion = [-1] * num_nodes  # -1 = not yet known
     latency = ctx.latency
 
-    event_index: Dict[int, int] = {e.node: i for i, e in enumerate(events)}
+    # events are indexed positionally: the compiled resolve pass emits
+    # plain (node, is_store, addr_class) tuples (see MemEvent docstring)
+    event_index: Dict[int, int] = {e[0]: i for i, e in enumerate(events)}
     # per load event: earlier store events, split by aliasing
     load_alias: Dict[int, List[int]] = {}
     load_clear: Dict[int, List[int]] = {}
     prev_same_store: Dict[int, int] = {}
     last_store_of_class: Dict[int, int] = {}
     store_events: List[int] = []
-    for i, event in enumerate(events):
-        if event.is_store:
-            prev = last_store_of_class.get(event.addr_class)
+    for i, (_node, is_store, addr_class) in enumerate(events):
+        if is_store:
+            prev = last_store_of_class.get(addr_class)
             if prev is not None:
                 prev_same_store[i] = prev
-            last_store_of_class[event.addr_class] = i
+            last_store_of_class[addr_class] = i
             store_events.append(i)
         else:
             aliased = [s for s in store_events
-                       if events[s].addr_class == event.addr_class]
+                       if events[s][2] == addr_class]
             clear = [s for s in store_events
-                     if events[s].addr_class != event.addr_class]
+                     if events[s][2] != addr_class]
             load_alias[i] = aliased
             load_clear[i] = clear
 
@@ -230,11 +237,10 @@ def simulate_tree(ctx: TreeContext, machine: HwMachine,
         ei = event_index.get(node)
         if ei is None:      # guard-false memory op: plain ALU-style slot
             return True, []
-        event = events[ei]
-        if event.is_store:
+        if events[ei][1]:   # is_store
             prev = prev_same_store.get(ei)
             if prev is not None:
-                prev_node = events[prev].node
+                prev_node = events[prev][0]
                 # pipelined memory completes same-address writes in
                 # issue order: one cycle apart suffices
                 if issue[prev_node] < 0 or issue[prev_node] + 1 > cycle:
@@ -242,7 +248,7 @@ def simulate_tree(ctx: TreeContext, machine: HwMachine,
             return True, []
         will_violate: List[int] = []
         for s in load_alias[ei]:
-            s_node = events[s].node
+            s_node = events[s][0]
             if issue[s_node] >= 0:
                 # address known: the LSQ sees the conflict and forwards
                 # the store's data at its completion
@@ -253,7 +259,7 @@ def simulate_tree(ctx: TreeContext, machine: HwMachine,
             else:
                 return False, []
         for s in load_clear[ei]:
-            s_node = events[s].node
+            s_node = events[s][0]
             if issue[s_node] < 0 and not bypass[(s, ei)]:
                 return False, []
         return True, will_violate
@@ -263,7 +269,7 @@ def simulate_tree(ctx: TreeContext, machine: HwMachine,
         value is forwardable, the load may re-issue."""
         ei = event_index[load_node]
         for s in load_alias[ei]:
-            done = completion[events[s].node]
+            done = completion[events[s][0]]
             if done < 0 or done > cycle:
                 return False
         return True
@@ -311,9 +317,9 @@ def simulate_tree(ctx: TreeContext, machine: HwMachine,
                 budget -= 1
                 progressed = True
                 ei = event_index.get(node)
-                if ei is not None and not events[ei].is_store:
+                if ei is not None and not events[ei][1]:
                     unknown = any(
-                        issue[events[s].node] < 0
+                        issue[events[s][0]] < 0
                         for s in (load_alias[ei] + load_clear[ei]))
                     if unknown:
                         spec_issues += 1
@@ -331,16 +337,16 @@ def simulate_tree(ctx: TreeContext, machine: HwMachine,
                        for e in range(len(ctx.tree.exits)))
     final_issue = []
     mem_completion = []
-    for event in events:
-        node = event.node
+    for node, is_store, _addr_class in events:
         done = completion[node]
         # a violated load's replay issued latency+penalty before it
         # completed; everything else issued once
-        if not event.is_store and any(v[0] == node for v in violations):
+        if not is_store and any(v[0] == node for v in violations):
             final_issue.append(done - latency[node] - penalty)
         else:
             final_issue.append(issue[node])
         mem_completion.append(done)
     return EngineResult(path_times, tuple(final_issue),
                         tuple(mem_completion), tuple(violations),
-                        slots_used, spec_issues)
+                        slots_used, spec_issues,
+                        len({load for load, _store in violations}))

@@ -25,10 +25,11 @@ Three policies bracket the design space, plus the idealised oracle:
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Callable, Dict, Tuple
 
 __all__ = ["OpKey", "DependencePredictor", "AlwaysSpeculate",
-           "NeverSpeculate", "StoreSetPredictor", "make_predictor"]
+           "NeverSpeculate", "StoreSetPredictor", "register_predictor",
+           "predictor_names", "make_predictor"]
 
 #: Static identity of an operation: (function name, tree name, op_id).
 OpKey = Tuple[str, str, int]
@@ -111,20 +112,37 @@ class StoreSetPredictor(DependencePredictor):
         self._set_of[self._find(store)] = self._find(load)
 
 
-def make_predictor(name: str) -> DependencePredictor:
-    """Instantiate a predictor by registry name.
+#: Registered predictor factories, in registration order.  The fuzz
+#: oracle sweeps every non-oracle entry, so registering a new policy
+#: here automatically puts it under differential test.
+_PREDICTORS: Dict[str, Callable[[], DependencePredictor]] = {}
 
-    ``oracle`` maps to :class:`NeverSpeculate` only as a placeholder —
-    the simulator special-cases the oracle machine and never consults
-    the predictor object (it orders loads behind exactly the stores
-    they truly alias with).
-    """
-    if name == "always":
-        return AlwaysSpeculate()
-    if name == "never":
-        return NeverSpeculate()
-    if name == "store-set":
-        return StoreSetPredictor()
-    if name == "oracle":
-        return NeverSpeculate()
-    raise ValueError(f"unknown predictor {name!r}")
+
+def register_predictor(name: str,
+                       factory: Callable[[], DependencePredictor]) -> None:
+    """Register a predictor policy under *name* (last wins)."""
+    _PREDICTORS[name] = factory
+
+
+def predictor_names() -> Tuple[str, ...]:
+    """Registered policy names, in registration order."""
+    return tuple(_PREDICTORS)
+
+
+def make_predictor(name: str) -> DependencePredictor:
+    """Instantiate a predictor by registry name."""
+    factory = _PREDICTORS.get(name)
+    if factory is None:
+        raise ValueError(f"unknown predictor {name!r}; "
+                         f"choose from {', '.join(_PREDICTORS)}")
+    return factory()
+
+
+register_predictor("always", AlwaysSpeculate)
+register_predictor("never", NeverSpeculate)
+register_predictor("store-set", StoreSetPredictor)
+# ``oracle`` maps to NeverSpeculate only as a placeholder — the
+# simulator special-cases the oracle machine and never consults the
+# predictor object (it orders loads behind exactly the stores they
+# truly alias with).
+register_predictor("oracle", NeverSpeculate)

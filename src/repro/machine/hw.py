@@ -48,6 +48,11 @@ class HwMachine:
     replay_penalty: int = 3
     latencies: LatencyTable = TABLE_6_1_MEM2
     name: str = ""
+    #: Per-tree timing-memo entries retained (LRU); ``None`` = unbounded.
+    #: A simulator implementation knob, not an architectural parameter —
+    #: excluded from cache fingerprints and :meth:`to_dict` because it
+    #: cannot change any simulated cycle count.
+    memo_capacity: Optional[int] = 4096
 
     def __post_init__(self) -> None:
         if self.num_fus is not None and self.num_fus < 1:
@@ -56,6 +61,9 @@ class HwMachine:
             raise ValueError("window must be >= 1 (or None for unbounded)")
         if self.replay_penalty < 0:
             raise ValueError("replay_penalty must be >= 0")
+        if self.memo_capacity is not None and self.memo_capacity < 1:
+            raise ValueError(
+                "memo_capacity must be >= 1 (or None for unbounded)")
         if self.predictor not in PREDICTOR_NAMES:
             raise ValueError(
                 f"unknown predictor {self.predictor!r}; "

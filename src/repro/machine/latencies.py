@@ -39,16 +39,21 @@ class LatencyTable:
                            "fpu", "memory", "branch"):
             if getattr(self, field_name) < 1:
                 raise ValueError(f"{field_name} latency must be >= 1")
-
-    def of_category(self, category: OpCategory) -> int:
-        return {
+        # category lookup table, built once: of()/of_category() sit on
+        # the timing models' hot paths.  Stored via object.__setattr__
+        # (frozen dataclass); not a field, so asdict()/fingerprints,
+        # equality and hashing are unaffected.
+        object.__setattr__(self, "_by_category", {
             OpCategory.INT_MUL: self.int_mul,
             OpCategory.DIVIDE: self.divide,
             OpCategory.FP_COMPARE: self.fp_compare,
             OpCategory.ALU: self.alu,
             OpCategory.FPU: self.fpu,
             OpCategory.MEMORY: self.memory,
-        }[category]
+        })
+
+    def of_category(self, category: OpCategory) -> int:
+        return self._by_category[category]
 
     def of(self, op: Operation) -> int:
         """Latency of one IR operation."""

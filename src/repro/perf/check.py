@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..engines import DEFAULT_ENGINE
 from .history import latest_record
 from .measure import measure_benchmark
 
@@ -197,7 +198,8 @@ def run_check(names: Sequence[str], against: Union[str, Path],
               threshold: float = DEFAULT_THRESHOLD,
               min_ms: float = DEFAULT_MIN_MS,
               stages: Sequence[str] = DEFAULT_STAGES,
-              progress: Optional[callable] = None) -> CheckResult:
+              progress: Optional[callable] = None,
+              engine: str = DEFAULT_ENGINE) -> CheckResult:
     """Measure *names* and compare them to the *against* baseline."""
     import tempfile
 
@@ -206,7 +208,8 @@ def run_check(names: Sequence[str], against: Union[str, Path],
     for name in names:
         with tempfile.TemporaryDirectory(prefix="repro-perf-") as cache_dir:
             measured[name] = measure_benchmark(name, num_fus,
-                                               memory_latency, cache_dir)
+                                               memory_latency, cache_dir,
+                                               engine=engine)
         if progress is not None:
             wall = measured[name]["wall_ms"]
             progress(f"{name}: {wall['total']:.0f}ms cold, "

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional
 from .. import obs
 from ..bench.runner import BenchmarkRunner
 from ..disambig.pipeline import Disambiguator
+from ..engines import DEFAULT_ENGINE
 from ..machine.description import machine
 from ..passes import DEFAULT_CLEANUP, PassPipelineConfig
 from ..pipeline.store import ArtifactStore
@@ -94,12 +95,13 @@ def _stage_percentiles(tracer: obs.Tracer) -> Dict[str, Dict[str, float]]:
 
 
 def measure_benchmark(name: str, num_fus: int, memory_latency: int,
-                      cache_dir: str) -> Dict[str, object]:
+                      cache_dir: str,
+                      engine: str = DEFAULT_ENGINE) -> Dict[str, object]:
     """One benchmark's cycles, SpD stats, per-stage wall-times and
     stage-span percentiles (see the module docstring for the
     cold/warm/cleanup passes)."""
     mach = machine(num_fus, memory_latency)
-    runner = BenchmarkRunner(store=ArtifactStore(cache_dir))
+    runner = BenchmarkRunner(store=ArtifactStore(cache_dir), engine=engine)
     wall_ms: Dict[str, float] = {}
     cycles: Dict[str, int] = {}
 
@@ -127,7 +129,8 @@ def measure_benchmark(name: str, num_fus: int, memory_latency: int,
         stage_spans = _stage_percentiles(tracer)
 
     # warm pass: fresh runner, same disk store — everything is a cache hit
-    warm_runner = BenchmarkRunner(store=ArtifactStore(cache_dir))
+    warm_runner = BenchmarkRunner(store=ArtifactStore(cache_dir),
+                                  engine=engine)
     t0 = time.perf_counter()
     warm_runner.compiled(name)
     for kind in Disambiguator:
@@ -140,7 +143,8 @@ def measure_benchmark(name: str, num_fus: int, memory_latency: int,
     # record the post-DCE code size plus per-pass op deltas
     clean_runner = BenchmarkRunner(
         store=ArtifactStore(cache_dir),
-        passes=PassPipelineConfig(cleanup=DEFAULT_CLEANUP))
+        passes=PassPipelineConfig(cleanup=DEFAULT_CLEANUP),
+        engine=engine)
     spec_clean = clean_runner.view(name, Disambiguator.SPEC, memory_latency)
     cleanup = {
         "code_size": spec_clean.code_size(),
@@ -173,7 +177,8 @@ def measure_benchmark(name: str, num_fus: int, memory_latency: int,
 
 
 def measure_benchmarks(names: List[str], num_fus: int, memory_latency: int,
-                       progress: Optional[callable] = None
+                       progress: Optional[callable] = None,
+                       engine: str = DEFAULT_ENGINE
                        ) -> Dict[str, Dict[str, object]]:
     """Measure several benchmarks, each against a throwaway store."""
     import tempfile
@@ -181,7 +186,7 @@ def measure_benchmarks(names: List[str], num_fus: int, memory_latency: int,
     for name in names:
         with tempfile.TemporaryDirectory(prefix="repro-perf-") as cache_dir:
             results[name] = measure_benchmark(name, num_fus, memory_latency,
-                                              cache_dir)
+                                              cache_dir, engine=engine)
         if progress is not None:
             wall = results[name]["wall_ms"]
             progress(f"{name}: {wall['total']:.0f}ms cold, "

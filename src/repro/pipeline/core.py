@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 from .. import obs
 from ..disambig.pipeline import Disambiguator, disambiguate
 from ..disambig.spd_heuristic import SpDConfig
+from ..engines import DEFAULT_ENGINE, get_engine
 from ..frontend.driver import compile_source
 from ..frontend.grafting import GraftConfig, graft_program
 from ..hwsim.core import simulate_program
@@ -51,7 +52,8 @@ class Pipeline:
                  validate_spec_output: bool = True,
                  store: Optional[ArtifactStore] = None,
                  passes: Optional[PassPipelineConfig] = None,
-                 guard_words: int = 0):
+                 guard_words: int = 0,
+                 engine: str = DEFAULT_ENGINE):
         self.spd_config = spd_config
         self.graft = graft
         self.validate_spec_output = validate_spec_output
@@ -59,6 +61,10 @@ class Pipeline:
         self.passes = (passes if passes is not None
                        else PassPipelineConfig()).validated()
         self.guard_words = guard_words
+        # fail fast on unknown names; stages key their fingerprints on
+        # the engine, so every registered engine gets its own cache rows
+        get_engine(engine)
+        self.engine = engine
 
     # -- fingerprints --------------------------------------------------------
 
@@ -69,13 +75,19 @@ class Pipeline:
 
     def profile_fingerprint(self, source: str) -> str:
         return fingerprint({"stage": "profile",
-                            "compiled": self.compile_fingerprint(source)})
+                            "compiled": self.compile_fingerprint(source),
+                            "engine": self.engine})
 
     def view_fingerprint(self, source: str, kind: Disambiguator,
                          memory_latency: int = 2) -> str:
         payload = {"stage": "view",
                    "compiled": self.compile_fingerprint(source),
                    "kind": kind.value,
+                   # the profiling run and SPEC's validation re-run go
+                   # through the configured engine; engines are verified
+                   # equivalent, but a miscompile must never poison
+                   # entries the reference engine computed
+                   "engine": self.engine,
                    # the cleanup pass list runs on every view, so every
                    # view's fingerprint must see it (a changed pass list
                    # or pass option is a cache miss)
@@ -126,7 +138,8 @@ class Pipeline:
         if artifact is None:
             compiled = self.compiled(label, source)
             with obs.profile_span("pipeline.profile", program=label):
-                reference = run_program(compiled.program)
+                reference = run_program(compiled.program,
+                                        engine=self.engine)
             artifact = ProfileArtifact(fp, label, reference)
             self.store.put("profile", fp, artifact)
         return artifact
@@ -151,7 +164,8 @@ class Pipeline:
                     spd_config=self.spd_config, passes=self.passes)
                 if kind is Disambiguator.SPEC and self.validate_spec_output:
                     transformed = run_program(result.program.copy(),
-                                              collect_profile=False)
+                                              collect_profile=False,
+                                              engine=self.engine)
                     if not profiled.reference.output_equal(transformed):
                         raise AssertionError(
                             f"SpD changed the output of program {label!r}")

@@ -96,6 +96,7 @@ class _WorkerSpec:
     guard_words: int = 0
     trace: bool = False
     profile_top_n: Optional[int] = None
+    engine: str = "jit"
 
 
 @dataclass
@@ -129,7 +130,8 @@ def _init_worker(spec: _WorkerSpec) -> None:
         spd_config=spec.spd_config, graft=spec.graft,
         validate_spec_output=spec.validate_spec_output,
         store=ArtifactStore(spec.cache_root),
-        passes=spec.passes, guard_words=spec.guard_words)
+        passes=spec.passes, guard_words=spec.guard_words,
+        engine=spec.engine)
 
 
 def _run_job(job: Job) -> _WorkerResult:
@@ -181,7 +183,8 @@ def run_jobs(pipeline: Pipeline, jobs: Sequence[Job],
         passes=pipeline.passes, guard_words=pipeline.guard_words,
         trace=tracer is not None,
         profile_top_n=(obs.profile.DEFAULT_TOP_N
-                       if obs.is_profiling() else None))
+                       if obs.is_profiling() else None),
+        engine=pipeline.engine)
     with obs.span("pipeline.parallel", jobs=workers,
                   tasks=len(jobs)) as parallel_span:
         obs.set_gauge("pipeline.jobs", workers)

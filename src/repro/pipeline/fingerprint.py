@@ -37,7 +37,10 @@ __all__ = ["PIPELINE_VERSION", "fingerprint", "spd_config_key",
 #: are discarded on sight by the store's version check).
 #: 2: DisambiguationResult grew the ``pass_stats`` field (pass-manager
 #: refactor); version-1 view artifacts lack it.
-PIPELINE_VERSION = 2
+#: 3: execution-engine refactor — profile/view fingerprints gained the
+#: ``engine`` key, and pickled LatencyTable instances grew the cached
+#: category lookup table older payloads lack.
+PIPELINE_VERSION = 3
 
 
 def fingerprint(payload: Dict[str, object]) -> str:

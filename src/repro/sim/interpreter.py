@@ -175,6 +175,11 @@ class Interpreter:
         self._obs_tree_execs: Dict[Tuple[str, str], int] = {}
         self._obs_squashed: Dict[str, int] = {}
 
+    #: subclasses that record tree/exit counts inside ``_execute_tree``
+    #: (the JIT batches them into preallocated per-tree lists) set this
+    #: to skip the per-execution ``record_tree`` in the dispatch loop
+    _profile_in_engine = False
+
     # -- operand/guard evaluation -------------------------------------------
 
     def _read(self, regs: Dict[str, Number], operand: Operand) -> Number:
@@ -222,7 +227,7 @@ class Interpreter:
 
         while True:
             exit_, exit_index = self._execute_tree(frame)
-            if self.collect_profile:
+            if self.collect_profile and not self._profile_in_engine:
                 key = (frame.function, frame.tree)
                 num_exits = len(
                     self.program.functions[frame.function].trees[frame.tree].exits)
@@ -338,8 +343,11 @@ class Interpreter:
 
     def _record_alias_pairs(self, frame: _Frame,
                             trace: List[Tuple[int, int, bool]]) -> None:
+        self._record_alias_pairs_keyed(frame.function, frame.tree, trace)
+
+    def _record_alias_pairs_keyed(self, func: str, tree: str,
+                                  trace: List[Tuple[int, int, bool]]) -> None:
         record = self.profile.record_pair
-        func, tree = frame.function, frame.tree
         for i, (id_i, addr_i, store_i) in enumerate(trace):
             for id_j, addr_j, store_j in trace[i + 1:]:
                 if store_i or store_j:
@@ -395,8 +403,21 @@ class Interpreter:
 def run_program(program: Program, args: Tuple[Number, ...] = (),
                 collect_profile: bool = True,
                 max_steps: int = 200_000_000,
-                strict_memory: bool = False) -> RunResult:
-    """Execute *program* from scratch and return its result."""
-    return Interpreter(program, max_steps=max_steps,
-                       collect_profile=collect_profile,
-                       strict_memory=strict_memory).run(args)
+                strict_memory: bool = False,
+                engine: Optional[str] = None) -> RunResult:
+    """Execute *program* from scratch and return its result.
+
+    ``engine`` selects a registered execution engine by name (see
+    :mod:`repro.engines`); ``None`` runs this module's reference
+    interpreter directly.
+    """
+    if engine is None or engine == "interp":
+        return Interpreter(program, max_steps=max_steps,
+                           collect_profile=collect_profile,
+                           strict_memory=strict_memory).run(args)
+    # local import: repro.engines imports this module
+    from ..engines import get_engine
+    executor = get_engine(engine).executor(
+        program, max_steps=max_steps, collect_profile=collect_profile,
+        strict_memory=strict_memory)
+    return executor.run(args)

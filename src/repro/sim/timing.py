@@ -27,12 +27,14 @@ Timing rules (shared with the resource-constrained list scheduler):
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..ir.depgraph import Arc, ArcKind, DependenceGraph
 from ..machine.description import LifeMachine
+from ..machine.latencies import LatencyTable
 
 __all__ = ["TreeTiming", "issue_constraint", "infinite_machine_timing",
            "average_time"]
@@ -91,6 +93,142 @@ def guard_completion_floor(node: int, preds: Sequence[Arc],
     return floor
 
 
+#: Per-node constraint codes of the compiled evaluator (one per timing
+#: rule of :func:`issue_constraint` / :func:`guard_completion_floor`).
+_AFTER_COMPLETION = 0   # data RAW, MEM_RAW/WAW, COMMIT
+_AFTER_ISSUE = 1        # REG_WAR, EXIT_ORDER
+_AFTER_ISSUE_PLUS1 = 2  # REG_WAW, MEM_WAR, ORDER
+_GUARD_FLOOR = 3        # guard RAW: completion floor, no issue constraint
+_SKIPPED = 4            # arc temporarily removed by ignore_keys
+
+_SKIP_ENTRY = (_SKIPPED, 0)
+
+
+class _CompiledTiming:
+    """The dataflow evaluation of one (graph, latency table) pair,
+    pre-resolved so repeated evaluations — the SpD Gain() loop runs
+    hundreds per graph — do no arc-kind dispatch, no ``latencies.of``
+    lookups and no per-arc predicate filtering.
+
+    ``entries[node]`` is the node's list of ``(code, src)`` constraint
+    tuples; ``key_positions`` maps an arc key to every (node, position)
+    it occupies, which is how ``ignore_keys`` is applied: the affected
+    entries are spliced to :data:`_SKIP_ENTRY` for one evaluation and
+    restored afterwards.  Guard-RAW arcs into *exit* nodes constrain
+    nothing (exits take the branch latency with no completion floor)
+    and are dropped entirely, exactly as the open-coded loop behaved.
+    """
+
+    __slots__ = ("entries", "latency", "exit_nodes", "key_positions",
+                 "_baseline")
+
+    def __init__(self, graph: DependenceGraph, latencies: LatencyTable):
+        self._baseline: Optional[TreeTiming] = None
+        self.entries: List[List[Tuple[int, int]]] = []
+        self.latency: List[int] = []
+        self.key_positions: Dict[tuple, List[Tuple[int, int]]] = {}
+        for node in range(graph.num_nodes):
+            op = graph.node_op(node)
+            is_op = op is not None
+            self.latency.append(latencies.of(op) if is_op
+                                else latencies.branch)
+            entries: List[Tuple[int, int]] = []
+            for arc in graph.preds(node):
+                kind = arc.kind
+                if kind is ArcKind.REG_RAW:
+                    if arc.via_guard:
+                        if not is_op:
+                            continue
+                        code = _GUARD_FLOOR
+                    else:
+                        code = _AFTER_COMPLETION
+                elif (kind is ArcKind.MEM_RAW or kind is ArcKind.MEM_WAW
+                        or kind is ArcKind.COMMIT):
+                    code = _AFTER_COMPLETION
+                elif kind is ArcKind.REG_WAR or kind is ArcKind.EXIT_ORDER:
+                    code = _AFTER_ISSUE
+                elif (kind is ArcKind.REG_WAW or kind is ArcKind.MEM_WAR
+                        or kind is ArcKind.ORDER):
+                    code = _AFTER_ISSUE_PLUS1
+                else:
+                    raise ValueError(f"unknown arc kind {kind}")
+                self.key_positions.setdefault(arc.key, []).append(
+                    (node, len(entries)))
+                entries.append((code, arc.src))
+            self.entries.append(entries)
+        self.exit_nodes = [graph.exit_node(e)
+                           for e in range(len(graph.tree.exits))]
+
+    def evaluate(self, ignore_keys: Optional[frozenset]) -> TreeTiming:
+        base = self._baseline
+        if base is None:
+            base = self._baseline = self._run(0, [0] * len(self.latency),
+                                              [0] * len(self.latency))
+        if not ignore_keys:
+            # callers may hold on to (or mutate) the result, so the
+            # cached baseline is handed out as a copy
+            return TreeTiming(list(base.issue), list(base.completion),
+                              list(base.path_times))
+        patched: List[Tuple[List[Tuple[int, int]], int, Tuple[int, int]]] = []
+        start: Optional[int] = None
+        for key in ignore_keys:
+            for node, pos in self.key_positions.get(key, ()):
+                entries = self.entries[node]
+                patched.append((entries, pos, entries[pos]))
+                entries[pos] = _SKIP_ENTRY
+                if start is None or node < start:
+                    start = node
+        try:
+            if start is None:
+                return TreeTiming(list(base.issue), list(base.completion),
+                                  list(base.path_times))
+            # arcs always point forward (nodes evaluate in index order),
+            # so dropping arcs into `start` cannot change any earlier
+            # node: resume from the baseline prefix
+            return self._run(start, list(base.issue), list(base.completion))
+        finally:
+            for entries, pos, original in patched:
+                entries[pos] = original
+
+    def _run(self, start: int, issue: List[int],
+             completion: List[int]) -> TreeTiming:
+        latency = self.latency
+        entries_by_node = self.entries
+        for node in range(start, len(latency)):
+            entries = entries_by_node[node]
+            earliest = 0
+            floor = 0
+            for code, src in entries:
+                if code == 0:          # _AFTER_COMPLETION
+                    t = completion[src]
+                elif code == 3:        # _GUARD_FLOOR
+                    t = completion[src] + 1
+                    if t > floor:
+                        floor = t
+                    continue
+                elif code == 1:        # _AFTER_ISSUE
+                    t = issue[src]
+                elif code == 2:        # _AFTER_ISSUE_PLUS1
+                    t = issue[src] + 1
+                else:                  # _SKIPPED
+                    continue
+                if t > earliest:
+                    earliest = t
+            issue[node] = earliest
+            done = earliest + latency[node]
+            completion[node] = done if done >= floor else floor
+        path_times = [completion[n] for n in self.exit_nodes]
+        return TreeTiming(issue, completion, path_times)
+
+
+#: graph -> {latency table -> compiled evaluator}.  Keyed weakly: SpD
+#: builds a fresh graph per iteration and never mutates one after
+#: construction, so entries die with their graphs.  Must not live *on*
+#: the graph — graphs are pickled inside cached view artifacts.
+_compiled_timing: "weakref.WeakKeyDictionary[DependenceGraph, Dict[LatencyTable, _CompiledTiming]]" = (
+    weakref.WeakKeyDictionary())
+
+
 def infinite_machine_timing(graph: DependenceGraph,
                             machine: LifeMachine,
                             ignore_keys: Optional[frozenset] = None) -> TreeTiming:
@@ -100,31 +238,15 @@ def infinite_machine_timing(graph: DependenceGraph,
     SpD guidance heuristic evaluates Gain() (time with an ambiguous arc
     removed) without rebuilding the graph.
     """
-    latencies = machine.latencies
-    num_nodes = graph.num_nodes
-    issue = [0] * num_nodes
-    completion = [0] * num_nodes
     obs.incr("timing.infinite_evals")
-
-    for node in range(num_nodes):
-        preds = graph.preds(node)
-        if ignore_keys:
-            preds = [a for a in preds if a.key not in ignore_keys]
-        earliest = 0
-        for arc in preds:
-            earliest = max(earliest, issue_constraint(arc, issue, completion))
-        issue[node] = earliest
-        op = graph.node_op(node)
-        if op is not None:
-            done = earliest + latencies.of(op)
-            done = max(done, guard_completion_floor(node, preds, completion))
-        else:
-            done = earliest + latencies.branch
-        completion[node] = done
-
-    path_times = [completion[graph.exit_node(e)]
-                  for e in range(len(graph.tree.exits))]
-    return TreeTiming(issue, completion, path_times)
+    per_graph = _compiled_timing.get(graph)
+    if per_graph is None:
+        per_graph = _compiled_timing[graph] = {}
+    compiled = per_graph.get(machine.latencies)
+    if compiled is None:
+        compiled = per_graph[machine.latencies] = _CompiledTiming(
+            graph, machine.latencies)
+    return compiled.evaluate(ignore_keys)
 
 
 def average_time(path_times: Sequence[int],

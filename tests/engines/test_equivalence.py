@@ -1,0 +1,169 @@
+"""Differential equivalence: the ``jit`` engine vs the reference interpreter.
+
+Every observable axis must agree — printed output, return value, step
+count, final memory image, the ordered store trace, and the full
+execution profile (tree/exit counts, alias-pair statistics, dynamic
+operation count).  The suite covers all fourteen benchmarks, the SpD
+knob grid on the alias-heavy subset (the transformed SPEC views are the
+programs most likely to expose a miscompile: guard chains, duplicated
+exits, speculative loads), FU-sweep schedule cycles derived from each
+engine's profile, and the pinned fuzz-corpus reproducers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.suite import benchmark_names, get_benchmark
+from repro.disambig import Disambiguator, disambiguate
+from repro.disambig.spd_heuristic import SpDConfig
+from repro.engines import get_engine
+from repro.frontend import compile_source
+from repro.machine.description import machine
+from repro.sim.evaluate import evaluate_program
+from repro.sim.interpreter import InterpreterError
+
+CORPUS = Path(__file__).parent.parent / "fuzz" / "corpus"
+
+#: Benchmarks with ambiguous memory pairs — the SpD transform actually
+#: fires on these, so their SPEC views are the interesting grid inputs.
+GRID_BENCHMARKS = ("fft", "moment", "perm", "quick")
+
+#: Heuristic knob grid: default, conservative (tight expansion, high
+#: gain bar), and profile-weighted aggressive.
+SPD_GRID = (
+    SpDConfig(),
+    SpDConfig(max_expansion=1.2, min_gain=1.0),
+    SpDConfig(assumed_alias_probability=0.25,
+              alias_probability_weighting=True),
+)
+
+_programs = {}
+
+
+def _program(name):
+    if name not in _programs:
+        _programs[name] = compile_source(get_benchmark(name).source)
+    return _programs[name]
+
+
+def _execute(engine, program):
+    """Run *program* under *engine*; returns every comparable observable."""
+    executor = get_engine(engine).executor(program.copy(), trace_stores=True)
+    try:
+        result = executor.run()
+    except InterpreterError as exc:
+        return {"error": str(exc), "output": list(executor.output),
+                "memory": list(executor.memory),
+                "store_trace": list(executor.store_trace)}
+    return {
+        "error": None,
+        "output": list(result.output),
+        "return_value": result.return_value,
+        "steps": result.steps,
+        "memory": list(executor.memory),
+        "store_trace": list(executor.store_trace),
+        "tree_counts": dict(result.profile.tree_counts),
+        "exit_counts": dict(result.profile.exit_counts),
+        "pair_stats": dict(result.profile.pair_stats),
+        "dynamic_operations": result.profile.dynamic_operations,
+    }
+
+
+def _assert_engines_agree(program, context=""):
+    reference = _execute("interp", program)
+    jitted = _execute("jit", program)
+    for axis in reference:
+        assert jitted[axis] == reference[axis], (
+            f"{context}: jit diverges from interp on {axis}")
+    return reference
+
+
+_run_cache = {}
+
+
+def _reference_run(name):
+    """Interp-vs-jit comparison for benchmark *name*, memoised because
+    the grid and FU-sweep tests reuse the same baseline runs."""
+    if name not in _run_cache:
+        _run_cache[name] = _assert_engines_agree(_program(name), name)
+    return _run_cache[name]
+
+
+class TestBenchmarkEquivalence:
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_engines_agree(self, name):
+        reference = _reference_run(name)
+        assert reference["error"] is None
+        assert reference["output"], f"{name} printed nothing"
+
+
+class TestSpdGridEquivalence:
+    """jit == interp on the SPEC-transformed views across the knob grid."""
+
+    @pytest.mark.parametrize("name", GRID_BENCHMARKS)
+    @pytest.mark.parametrize("knobs", range(len(SPD_GRID)))
+    def test_transformed_views_agree(self, name, knobs):
+        from repro.sim.profile import ProfileData
+
+        base = _reference_run(name)
+        profile = ProfileData(tree_counts=base["tree_counts"],
+                              exit_counts=base["exit_counts"],
+                              pair_stats=base["pair_stats"],
+                              dynamic_operations=base["dynamic_operations"])
+        view = disambiguate(_program(name), Disambiguator.SPEC,
+                            profile=profile, machine=machine(2, 6),
+                            spd_config=SPD_GRID[knobs])
+        transformed = _assert_engines_agree(
+            view.program, f"{name} SPEC view, knobs[{knobs}]")
+        # the transform must preserve observable behaviour too
+        assert transformed["output"] == base["output"]
+        assert transformed["memory"] == base["memory"]
+
+
+class TestScheduleEquivalence:
+    """Schedule cycles from a jit-collected profile match the
+    interp-collected profile at every FU width (1/2/4/8)."""
+
+    @pytest.mark.parametrize("name", GRID_BENCHMARKS)
+    def test_fu_sweep_cycles_agree(self, name):
+        from repro.sim.profile import ProfileData
+
+        program = _program(name)
+        profiles = {}
+        for engine in ("interp", "jit"):
+            run = _execute(engine, program)
+            profiles[engine] = ProfileData(
+                tree_counts=run["tree_counts"],
+                exit_counts=run["exit_counts"],
+                pair_stats=run["pair_stats"],
+                dynamic_operations=run["dynamic_operations"])
+        views = {
+            engine: disambiguate(program, Disambiguator.SPEC,
+                                 profile=profiles[engine],
+                                 machine=machine(2, 6))
+            for engine in profiles
+        }
+        for num_fus in (1, 2, 4, 8):
+            mach = machine(num_fus, 6)
+            cycles = {
+                engine: evaluate_program(views[engine].program,
+                                         views[engine].graphs, mach,
+                                         profiles[engine]).cycles
+                for engine in profiles
+            }
+            assert cycles["jit"] == cycles["interp"], (
+                f"{name}: cycle divergence at {num_fus} FUs")
+
+
+class TestCorpusEquivalence:
+    """The pinned fuzz reproducers — each once exposed a real oracle
+    divergence — must agree under both engines."""
+
+    @pytest.mark.parametrize(
+        "case", sorted(CORPUS.glob("*.tc")), ids=lambda p: p.stem)
+    def test_corpus_case_agrees(self, case):
+        program = compile_source(case.read_text())
+        _assert_engines_agree(program, case.stem)

@@ -80,3 +80,48 @@ class TestInjectedBug:
         assert predicate(DIAMOND) is True
         # a program that stops compiling is NOT a divergence
         assert predicate("int main() {") is False
+
+
+class TestBackendRegistry:
+    def test_semantic_engines_are_default_backends(self):
+        from repro.fuzz.oracle import execution_backend_names
+        names = execution_backend_names()
+        assert names[0] == "interp"
+        assert "jit" in names
+        assert "hw" not in names  # timing model, not a semantic backend
+
+    def test_registered_backend_participates(self):
+        """A buggy extra backend must surface as a divergence — proof
+        that registration wires it into the differential loop."""
+        from repro.engines import get_engine
+        from repro.fuzz.oracle import (_EXTRA_BACKENDS,
+                                       register_execution_backend)
+
+        def lying_backend(program, **kwargs):
+            executor = get_engine("interp").executor(program, **kwargs)
+            original_run = executor.run
+
+            def run(args=()):
+                result = original_run(args)
+                result.output.append(42)  # corrupt an observable
+                return result
+
+            executor.run = run
+            return executor
+
+        register_execution_backend("lying", lying_backend)
+        try:
+            report = check_source(DIAMOND, FAST)
+        finally:
+            _EXTRA_BACKENDS.pop("lying")
+        assert report.error is None
+        assert not report.ok
+        assert any("@lying" in d.stage for d in report.divergences)
+
+    def test_engines_subset_is_honoured(self):
+        """Restricting OracleConfig.engines to interp skips the jit
+        cross-check entirely (and still conforms)."""
+        config = dataclasses.replace(FAST, engines=("interp",))
+        report = check_source(DIAMOND, config)
+        assert report.error is None
+        assert report.ok, [d.to_dict() for d in report.divergences]

@@ -1,0 +1,111 @@
+"""The compiled resolve/commit fast path and the bounded timing memo.
+
+``use_jit=False`` keeps the original op-dispatch passes; these tests
+diff the two implementations on every observable — they must be
+indistinguishable except for wall time.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import obs
+from repro.hwsim import HwSimulator
+from repro.machine.hw import HwMachine, hw_machine
+
+PREDICTORS = ("always", "never", "store-set", "oracle")
+
+
+def _mach(predictor="store-set", fus=2, **kwargs):
+    return dataclasses.replace(
+        hw_machine(fus, predictor=predictor, window=8), **kwargs)
+
+
+def _simulate(program, mach, use_jit):
+    sim = HwSimulator(program.copy(), mach, trace_stores=True,
+                      use_jit=use_jit)
+    result = sim.run()
+    return sim, result
+
+
+class TestFastPathEquivalence:
+    @pytest.mark.parametrize("predictor", PREDICTORS)
+    def test_example22_identical_to_slow_path(self, example22_program,
+                                              predictor):
+        mach = _mach(predictor)
+        slow, slow_result = _simulate(example22_program, mach, use_jit=False)
+        fast, fast_result = _simulate(example22_program, mach, use_jit=True)
+        assert fast.output == slow.output
+        assert fast_result.return_value == slow_result.return_value
+        assert fast_result.steps == slow_result.steps
+        assert fast.cycles == slow.cycles
+        assert fast.memory == slow.memory
+        assert fast.store_trace == slow.store_trace
+        assert fast.stats.to_dict() == slow.stats.to_dict()
+
+    @pytest.mark.parametrize("predictor", PREDICTORS)
+    def test_pointer_kernel_identical_to_slow_path(self, pointer_program,
+                                                   predictor):
+        mach = _mach(predictor)
+        slow, _ = _simulate(pointer_program, mach, use_jit=False)
+        fast, _ = _simulate(pointer_program, mach, use_jit=True)
+        assert fast.output == slow.output
+        assert fast.cycles == slow.cycles
+        assert fast.memory == slow.memory
+        assert fast.stats.to_dict() == slow.stats.to_dict()
+
+    def test_paths_share_memo_shape(self, example22_program):
+        """Compiled resolve emits plain tuples that hash like the slow
+        path's MemEvent records, so both modes produce identical memo
+        behaviour (hits, misses, evictions)."""
+        mach = _mach("store-set")
+        slow, _ = _simulate(example22_program, mach, use_jit=False)
+        fast, _ = _simulate(example22_program, mach, use_jit=True)
+        assert fast.stats.memo_hits == slow.stats.memo_hits
+        assert fast.stats.memo_misses == slow.stats.memo_misses
+        assert fast.stats.memo_evictions == slow.stats.memo_evictions
+
+
+class TestMemoBound:
+    def test_capacity_one_evicts_without_changing_cycles(
+            self, example22_program):
+        unbounded = _mach("never", memo_capacity=None)
+        tiny = _mach("never", memo_capacity=1)
+        ref_sim, _ = _simulate(example22_program, unbounded, use_jit=True)
+        tiny_sim, _ = _simulate(example22_program, tiny, use_jit=True)
+        assert ref_sim.stats.memo_evictions == 0
+        assert tiny_sim.stats.memo_evictions > 0
+        # eviction costs recomputation, never cycles
+        assert tiny_sim.cycles == ref_sim.cycles
+        assert tiny_sim.output == ref_sim.output
+        assert tiny_sim.stats.squashes == ref_sim.stats.squashes
+
+    def test_default_capacity_needs_no_evictions(self, example22_program):
+        sim, _ = _simulate(example22_program, _mach("never"), use_jit=True)
+        assert sim.stats.memo_evictions == 0
+        assert sim.stats.memo_hits > 0
+
+    def test_capacity_excluded_from_identity(self):
+        a = _mach("store-set", memo_capacity=None)
+        b = _mach("store-set", memo_capacity=1)
+        assert a.name == b.name
+        assert a.to_dict() == b.to_dict()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="memo_capacity"):
+            HwMachine(memo_capacity=0)
+        HwMachine(memo_capacity=None)  # unbounded is fine
+        HwMachine(memo_capacity=1)
+
+
+class TestMemoObservability:
+    def test_memo_counters_emitted(self, example22_program):
+        with obs.tracing() as tracer:
+            sim, _ = _simulate(example22_program,
+                               _mach("never", memo_capacity=1), use_jit=True)
+        counters = tracer.metrics.counters
+        assert counters["hwsim.memo.hits"] == sim.stats.memo_hits > 0
+        assert (counters["hwsim.memo.evictions"]
+                == sim.stats.memo_evictions > 0)
+        # legacy counter names remain
+        assert counters["hwsim.memo_hits"] == sim.stats.memo_hits

@@ -76,3 +76,31 @@ class TestRegistry:
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError, match="unknown predictor"):
             make_predictor("magic8ball")
+
+
+class TestRegistrationApi:
+    def test_builtin_names_in_registration_order(self):
+        from repro.hwsim.predictor import predictor_names
+        assert predictor_names() == ("always", "never", "store-set",
+                                     "oracle")
+
+    def test_register_and_instantiate_custom(self):
+        from repro.hwsim.predictor import (_PREDICTORS, make_predictor,
+                                           register_predictor)
+
+        class Paranoid(NeverSpeculate):
+            name = "paranoid"
+
+        register_predictor("paranoid", Paranoid)
+        try:
+            assert isinstance(make_predictor("paranoid"), Paranoid)
+        finally:
+            _PREDICTORS.pop("paranoid")
+        with pytest.raises(ValueError, match="unknown predictor"):
+            make_predictor("paranoid")
+
+    def test_registration_last_wins(self):
+        from repro.hwsim.predictor import (make_predictor,
+                                           register_predictor)
+        register_predictor("always", AlwaysSpeculate)  # re-register
+        assert isinstance(make_predictor("always"), AlwaysSpeculate)

@@ -391,3 +391,40 @@ class TestFuzz:
                      "--time-budget", "0.5"]) == 0
         out = capsys.readouterr().out
         assert "time budget exhausted" in out
+
+
+class TestEngineFlag:
+    def test_run_engine_choices(self, demo_source, capsys):
+        for engine in ("interp", "jit"):
+            assert main(["run", demo_source, "--engine", engine]) == 0
+            assert capsys.readouterr().out.strip() == "15"
+
+    def test_run_rejects_unknown_engine(self, demo_source, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", demo_source, "--engine", "nonesuch"])
+
+    def test_run_rejects_hw_engine(self, demo_source, capsys):
+        # hw is a timing model, not a semantic engine; --engine excludes it
+        with pytest.raises(SystemExit):
+            main(["run", demo_source, "--engine", "hw"])
+
+    def test_bench_output_engine_invariant(self, capsys):
+        """The engine changes how profiles are executed, never the
+        numbers: bench output must be byte-identical across engines."""
+        outputs = {}
+        for engine in ("jit", "interp"):
+            assert main(["bench", "perm", "--memory", "2",
+                         "--engine", engine]) == 0
+            outputs[engine] = capsys.readouterr().out
+        assert outputs["jit"] == outputs["interp"]
+
+    def test_analyze_accepts_engine(self, demo_source, capsys):
+        assert main(["analyze", demo_source, "--fus", "4", "--memory", "2",
+                     "--engine", "interp"]) == 0
+        assert "spec" in capsys.readouterr().out
+
+    def test_fuzz_engine_flag(self, capsys, tmp_path):
+        assert main(["fuzz", "--seed", "0", "--iterations", "1",
+                     "--corpus", str(tmp_path / "corpus"),
+                     "--engine", "jit"]) == 0
+        assert "0 divergent" in capsys.readouterr().out

@@ -175,3 +175,47 @@ class TestTimingFingerprint:
                                         machine(5, 2))
                 != pipe.timing_fingerprint(SOURCE, Disambiguator.NAIVE,
                                            machine(5, 6)))
+
+
+class TestEngineFingerprint:
+    """Profile/view artifacts are keyed on the execution engine: a
+    miscompiling engine must never poison reference-engine entries."""
+
+    def test_profile_fingerprint_engine_sensitive(self):
+        jit = memory_pipeline(engine="jit")
+        interp = memory_pipeline(engine="interp")
+        assert (jit.profile_fingerprint(SOURCE)
+                != interp.profile_fingerprint(SOURCE))
+
+    def test_view_fingerprint_engine_sensitive(self):
+        jit = memory_pipeline(engine="jit")
+        interp = memory_pipeline(engine="interp")
+        assert (jit.view_fingerprint(SOURCE, Disambiguator.SPEC)
+                != interp.view_fingerprint(SOURCE, Disambiguator.SPEC))
+
+    def test_compile_fingerprint_engine_insensitive(self):
+        # compilation never executes the program; compiled artifacts are
+        # shared across engines
+        assert (memory_pipeline(engine="jit").compile_fingerprint(SOURCE)
+                == memory_pipeline(engine="interp")
+                .compile_fingerprint(SOURCE))
+
+    def test_unknown_engine_rejected_at_construction(self):
+        import pytest
+        with pytest.raises(ValueError, match="unknown execution engine"):
+            memory_pipeline(engine="nonesuch")
+
+    def test_engines_share_no_artifacts_in_one_store(self):
+        store = ArtifactStore(root=None)
+        jit = Pipeline(store=store, engine="jit")
+        interp = Pipeline(store=store, engine="interp")
+        jit_profile = jit.profile("t", SOURCE)
+        interp_profile = interp.profile("t", SOURCE)
+        # verified-equivalent engines: same observable profile...
+        assert (jit_profile.profile.tree_counts
+                == interp_profile.profile.tree_counts)
+        # ...via distinct cache rows
+        assert (store.get("profile", jit.profile_fingerprint(SOURCE))
+                is not None)
+        assert (jit.profile_fingerprint(SOURCE)
+                != interp.profile_fingerprint(SOURCE))
