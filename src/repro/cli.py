@@ -10,6 +10,8 @@ Usage (also via ``python -m repro``)::
     repro report {table6_1,...,all}      # regenerate a paper table/figure
     repro hwcompare [NAME...] [options]  # compiler vs. hardware sweep
     repro fuzz [options]                 # differential fuzzing campaign
+    repro serve [options]                # compilation-as-a-service HTTP API
+    repro loadgen [options]              # drive a running server, bench it
     repro list                           # list built-in benchmarks
     repro passes                         # list registered program passes
 
@@ -566,6 +568,73 @@ def _cmd_perf_history(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Serve the pipeline over HTTP/JSON (see docs/serving.md)."""
+    import asyncio
+
+    from .serve import ServeApp, ServeConfig
+
+    try:
+        config = ServeConfig(
+            host=args.host, port=args.port, jobs=args.jobs,
+            queue_limit=args.queue_limit, request_timeout=args.timeout,
+            batch_max=args.batch_max, batch_window_s=args.batch_window,
+            cache_root=args.cache, cache_budget_mb=args.cache_budget_mb)
+    except ValueError as error:
+        print(f"repro serve: {error}", file=sys.stderr)
+        return 2
+
+    async def serve() -> None:
+        app = ServeApp(config)
+        port = await app.start()
+        root = app.service.store.root
+        print(f"repro serve: listening on http://{config.host}:{port}/v1/ "
+              f"({config.jobs} worker{'s' if config.jobs != 1 else ''}, "
+              f"cache {root if root is not None else 'memory-only'})",
+              flush=True)
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await app.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    """Drive a running ``repro serve``; print and optionally write the
+    BENCH_serve.json payload.  Exits 1 if any request errored."""
+    from .serve.loadgen import run_loadgen
+
+    try:
+        payload = run_loadgen(
+            args.host, args.port, clients=args.clients,
+            requests=args.requests, seed=args.seed,
+            pool_size=args.pool_size, warmup=not args.no_warmup,
+            timeout=args.timeout)
+    except (OSError, RuntimeError) as error:
+        print(f"repro loadgen: {error}", file=sys.stderr)
+        return 2
+    results = payload["results"]
+    latency = results["latency_ms"]
+    server = results["server_latency_ms"]
+    print(f"loadgen: {results['requests']} requests, "
+          f"{results['errors']} errors, "
+          f"hit rate {results['hit_rate']:.1%}, "
+          f"client p50 {latency['p50']:.2f} ms / "
+          f"p95 {latency['p95']:.2f} ms, "
+          f"server warm p50 {server['hit_p50']:.2f} ms, "
+          f"{results['requests_per_s']:.0f} req/s")
+    if args.json:
+        status = _write_json(args.json, payload)
+        if status:
+            return status
+    return 1 if results["errors"] else 0
+
+
 def _cmd_report(args) -> int:
     from .experiments import (ablation, figure6_2, figure6_3, figure6_4,
                               table6_1, table6_2, table6_3)
@@ -792,6 +861,66 @@ def build_parser() -> argparse.ArgumentParser:
     add_json_flag(p_hw)
     add_jobs_flag(p_hw)
     p_hw.set_defaults(func=_cmd_hwcompare)
+
+    p_serve = sub.add_parser(
+        "serve", help="compilation-as-a-service HTTP server")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default %(default)s)")
+    p_serve.add_argument("--port", type=int, default=8377,
+                         help="bind port (default %(default)s; 0 = "
+                              "ephemeral)")
+    p_serve.add_argument("--jobs", type=int, default=2, metavar="N",
+                         help="worker processes computing cache misses "
+                              "(default %(default)s)")
+    p_serve.add_argument("--queue-limit", type=int, default=256, metavar="N",
+                         help="in-flight computation bound; beyond it "
+                              "requests get 503 (default %(default)s)")
+    p_serve.add_argument("--timeout", type=float, default=120.0,
+                         metavar="SECONDS",
+                         help="per-request budget before a 504 "
+                              "(default %(default)s)")
+    p_serve.add_argument("--batch-max", type=int, default=32, metavar="N",
+                         help="largest dispatch batch (default %(default)s)")
+    p_serve.add_argument("--batch-window", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="extra coalescing window before dispatching "
+                              "(default 0 = one event-loop tick)")
+    p_serve.add_argument("--cache", metavar="DIR", default=None,
+                         help="artifact cache directory (default "
+                              "$REPRO_CACHE_DIR or ~/.cache/repro-spd; "
+                              "--cache= for memory-only)")
+    p_serve.add_argument("--cache-budget-mb", type=float, default=None,
+                         metavar="MB",
+                         help="LRU size budget of the on-disk cache "
+                              "(default: unbounded)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen", help="drive a running 'repro serve' and benchmark it")
+    p_loadgen.add_argument("--host", default="127.0.0.1",
+                           help="server address (default %(default)s)")
+    p_loadgen.add_argument("--port", type=int, default=8377,
+                           help="server port (default %(default)s)")
+    p_loadgen.add_argument("--clients", type=int, default=8, metavar="N",
+                           help="concurrent client threads "
+                                "(default %(default)s)")
+    p_loadgen.add_argument("--requests", type=int, default=200, metavar="N",
+                           help="total requests across all clients "
+                                "(default %(default)s)")
+    p_loadgen.add_argument("--seed", type=int, default=0,
+                           help="request-mix seed (default %(default)s)")
+    p_loadgen.add_argument("--pool-size", type=int, default=12, metavar="N",
+                           help="distinct request shapes in the pool "
+                                "(default %(default)s)")
+    p_loadgen.add_argument("--no-warmup", action="store_true",
+                           help="skip the serial warmup pass (measures a "
+                                "cold cache)")
+    p_loadgen.add_argument("--timeout", type=float, default=60.0,
+                           metavar="SECONDS",
+                           help="per-request client timeout "
+                                "(default %(default)s)")
+    add_json_flag(p_loadgen)
+    p_loadgen.set_defaults(func=_cmd_loadgen)
 
     p_report = sub.add_parser("report", help="regenerate a table/figure")
     p_report.add_argument("which", choices=[

@@ -8,6 +8,9 @@ Section 6.1) as four explicitly cached stages:
 * :mod:`repro.pipeline.artifacts` — picklable inter-stage values;
 * :mod:`repro.pipeline.store` — in-memory LRU over an on-disk cache
   (``$REPRO_CACHE_DIR`` / ``~/.cache/repro-spd``);
+* :mod:`repro.pipeline.shards` — the sharded variant of the store
+  (per-shard locks, LRU size budget, flat-layout migration) used by the
+  compilation service (:mod:`repro.serve`);
 * :mod:`repro.pipeline.core` — the :class:`Pipeline` stage driver;
 * :mod:`repro.pipeline.executor` — multiprocessing fan-out of the
   (program × disambiguator × machine) job matrix.
@@ -19,12 +22,14 @@ layout and invalidation rules.
 from .artifacts import (CompiledArtifact, DisambiguationArtifact,
                         ProfileArtifact, TimingArtifact)
 from .core import Pipeline
-from .executor import TimingJob, ViewJob, run_jobs
+from .executor import CompileJob, HwTimingJob, TimingJob, ViewJob, run_jobs
 from .fingerprint import PIPELINE_VERSION, fingerprint
+from .shards import ShardedArtifactStore
 from .store import ArtifactStore, default_cache_dir
 
 __all__ = [
-    "ArtifactStore", "CompiledArtifact", "DisambiguationArtifact",
-    "Pipeline", "PIPELINE_VERSION", "ProfileArtifact", "TimingArtifact",
-    "TimingJob", "ViewJob", "default_cache_dir", "fingerprint", "run_jobs",
+    "ArtifactStore", "CompileJob", "CompiledArtifact",
+    "DisambiguationArtifact", "HwTimingJob", "Pipeline", "PIPELINE_VERSION",
+    "ProfileArtifact", "ShardedArtifactStore", "TimingArtifact", "TimingJob",
+    "ViewJob", "default_cache_dir", "fingerprint", "run_jobs",
 ]

@@ -44,11 +44,20 @@ from ..frontend.grafting import GraftConfig
 from ..passes import PassPipelineConfig
 from ..machine.description import LifeMachine
 from ..machine.hw import HwMachine
-from .artifacts import HwTimingArtifact, TimingArtifact
+from .artifacts import CompiledArtifact, HwTimingArtifact, TimingArtifact
 from .core import Pipeline
 from .store import ArtifactStore
 
-__all__ = ["ViewJob", "TimingJob", "HwTimingJob", "run_jobs"]
+__all__ = ["CompileJob", "ViewJob", "TimingJob", "HwTimingJob", "run_jobs",
+           "artifact_stage"]
+
+
+@dataclass(frozen=True)
+class CompileJob:
+    """Compile (and graft) one source into its tree program (stage 1)."""
+
+    label: str
+    source: str
 
 
 @dataclass(frozen=True)
@@ -81,7 +90,7 @@ class HwTimingJob:
     machine: HwMachine
 
 
-Job = Union[ViewJob, TimingJob, HwTimingJob]
+Job = Union[CompileJob, ViewJob, TimingJob, HwTimingJob]
 
 
 @dataclass(frozen=True)
@@ -147,6 +156,8 @@ def _run_job(job: Job) -> _WorkerResult:
 
 
 def _run_on(pipeline: Pipeline, job: Job):
+    if isinstance(job, CompileJob):
+        return pipeline.compiled(job.label, job.source)
     if isinstance(job, TimingJob):
         return pipeline.timing(job.label, job.source, job.kind, job.machine)
     if isinstance(job, HwTimingJob):
@@ -206,11 +217,17 @@ def run_jobs(pipeline: Pipeline, jobs: Sequence[Job],
                     tracer.metrics.merge(result.metrics)
     results = [result.artifact for result in worker_results]
     for artifact in results:
-        if isinstance(artifact, TimingArtifact):
-            stage = "timing"
-        elif isinstance(artifact, HwTimingArtifact):
-            stage = "hwtime"
-        else:
-            stage = "view"
-        pipeline.store.put_memory(stage, artifact.fingerprint, artifact)
+        pipeline.store.put_memory(artifact_stage(artifact),
+                                  artifact.fingerprint, artifact)
     return results
+
+
+def artifact_stage(artifact) -> str:
+    """The store stage a job-result artifact belongs to."""
+    if isinstance(artifact, TimingArtifact):
+        return "timing"
+    if isinstance(artifact, HwTimingArtifact):
+        return "hwtime"
+    if isinstance(artifact, CompiledArtifact):
+        return "compiled"
+    return "view"

@@ -1,0 +1,30 @@
+"""``repro.serve`` — compilation-as-a-service over the cached pipeline.
+
+The SpD transformation is a pure function of (source, knobs, machine):
+exactly the shape of a remote build cache.  This package puts an
+asyncio HTTP/JSON front door on the fingerprinted pipeline
+(:mod:`repro.pipeline`) so many concurrent clients share one artifact
+cache and one worker pool:
+
+* :mod:`repro.serve.schemas` — request validation and the
+  ``repro.serve/1`` response/error envelopes;
+* :mod:`repro.serve.service` — :class:`CompileService`: per-request
+  plans, in-flight dedup by fingerprint (one computation, N waiters),
+  micro-batching of cache misses onto a multiprocessing executor with
+  a bounded queue, per-request timeouts and structured fault handling;
+* :mod:`repro.serve.http` — the stdlib-only asyncio HTTP server
+  (``repro serve``);
+* :mod:`repro.serve.loadgen` — the seeded load-generator client
+  (``repro loadgen``), which emits ``BENCH_serve.json``.
+
+See ``docs/serving.md`` for endpoints, schemas and the dedup/batch/
+shard design.
+"""
+
+from .http import ServeApp
+from .loadgen import run_loadgen
+from .schemas import SCHEMA, ENDPOINTS, RequestError
+from .service import CompileService, ServeConfig
+
+__all__ = ["SCHEMA", "ENDPOINTS", "CompileService", "RequestError",
+           "ServeApp", "ServeConfig", "run_loadgen"]

@@ -1,0 +1,123 @@
+"""Serve-test fixtures: a real server on an ephemeral port, per test.
+
+The server runs its own event loop in a daemon thread (the tests are
+synchronous HTTP clients, like real users of ``repro serve``), binds
+port 0 and reports the actual port once serving.  Each test gets an
+isolated cache directory, so cross-test warmth never leaks.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.serve import ServeApp, ServeConfig
+
+
+class RunningServer:
+    """A ServeApp on its own event-loop thread, bound to port 0."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.app = None
+        self.port = None
+        self.loop = None
+        self._stop_event = None
+        self._thread = None
+        self._failure = None
+
+    def start(self) -> "RunningServer":
+        ready = threading.Event()
+
+        def run() -> None:
+            self.loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(self.loop)
+
+            async def main() -> None:
+                self._stop_event = asyncio.Event()
+                self.app = ServeApp(self.config)
+                try:
+                    self.port = await self.app.start()
+                finally:
+                    ready.set()
+                await self._stop_event.wait()
+                await self.app.stop()
+
+            try:
+                self.loop.run_until_complete(main())
+            except Exception as error:  # pragma: no cover - startup bug
+                self._failure = error
+                ready.set()
+            finally:
+                self.loop.close()
+
+        self._thread = threading.Thread(target=run, name="serve-test",
+                                        daemon=True)
+        self._thread.start()
+        assert ready.wait(60), "server did not start within 60s"
+        if self._failure is not None:
+            raise self._failure
+        return self
+
+    def stop(self) -> None:
+        """Idempotent: safe to call from a test and again at teardown."""
+        if (self.loop is not None and self._stop_event is not None
+                and not self.loop.is_closed()):
+            try:
+                self.loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop closed between the check and the call
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+
+    # -- client helpers ------------------------------------------------------
+
+    def request(self, method: str, path: str, body=None, timeout=120.0):
+        """One HTTP round trip: (status, X-Repro-Cache, body bytes)."""
+        conn = http.client.HTTPConnection("127.0.0.1", self.port,
+                                          timeout=timeout)
+        try:
+            data = (json.dumps(body).encode("utf-8")
+                    if body is not None else None)
+            conn.request(method, path, body=data)
+            response = conn.getresponse()
+            return (response.status,
+                    response.getheader("X-Repro-Cache"),
+                    response.read())
+        finally:
+            conn.close()
+
+    def post(self, endpoint: str, payload, timeout=120.0):
+        return self.request("POST", f"/v1/{endpoint}", payload, timeout)
+
+    def counters(self) -> dict:
+        _, _, data = self.request("GET", "/v1/stats")
+        return json.loads(data)["metrics"]["counters"]
+
+
+@pytest.fixture
+def server_factory(tmp_path):
+    """Factory for isolated servers; every server is stopped at teardown."""
+    servers = []
+    counter = [0]
+
+    def factory(**overrides) -> RunningServer:
+        counter[0] += 1
+        overrides.setdefault("cache_root",
+                             str(tmp_path / f"cache{counter[0]}"))
+        config = ServeConfig(host="127.0.0.1", port=0, **overrides)
+        server = RunningServer(config).start()
+        servers.append(server)
+        return server
+
+    yield factory
+    for server in servers:
+        server.stop()
+
+
+@pytest.fixture
+def server(server_factory) -> RunningServer:
+    """One default server: 2 workers, isolated cache, ephemeral port."""
+    return server_factory(jobs=2)

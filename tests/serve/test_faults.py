@@ -1,0 +1,106 @@
+"""Fault injection: crashes, hangs/timeouts, corrupt cache entries.
+
+The ``REPRO_SERVE_INJECT`` hook (mirroring ``REPRO_PERF_INJECT``) is
+read inside worker processes: ``crash:<label-substring>`` hard-exits
+the worker mid-job, ``hang:<label-substring>:<seconds>`` sleeps before
+computing.  Every fault must surface as a *structured* error response —
+never a hang, never a wedged server.
+"""
+
+import json
+import os
+
+import pytest
+
+SOURCE = ("int a[8];\n"
+          "int main() { int i; for (i = 0; i < 8; i = i + 1) "
+          "{ a[i] = i; } print(a[3]); return 0; }\n")
+
+
+@pytest.fixture
+def inject(monkeypatch):
+    """Set the fault hook before the server (and its workers) start."""
+
+    def set_spec(spec: str) -> None:
+        monkeypatch.setenv("REPRO_SERVE_INJECT", spec)
+
+    return set_spec
+
+
+class TestWorkerCrash:
+    def test_crash_is_structured_500_and_pool_recovers(self, inject,
+                                                       server_factory):
+        inject("crash:doomed")
+        server = server_factory(jobs=2)
+        status, cache, data = server.post(
+            "compile", {"source": SOURCE, "label": "doomed-1"})
+        body = json.loads(data)
+        assert status == 500 and cache == "error"
+        assert body["error"]["code"] == "worker_crashed"
+        counters = server.counters()
+        assert counters["serve.worker_crashes"] >= 1
+        # the pool was rebuilt: a non-matching request computes fine
+        status, _, data = server.post(
+            "compile", {"source": SOURCE, "label": "survivor"})
+        assert status == 200
+        assert json.loads(data)["result"]["ops"] > 0
+
+
+class TestTimeout:
+    def test_hang_is_504_and_slot_frees(self, inject, server_factory):
+        inject("hang:glacial:2")
+        server = server_factory(jobs=2, request_timeout=0.4)
+        status, cache, data = server.post(
+            "compile", {"source": SOURCE, "label": "glacial-1"})
+        body = json.loads(data)
+        assert status == 504 and cache == "error"
+        assert body["error"]["code"] == "timeout"
+        assert server.counters()["serve.timeouts"] >= 1
+        # the executor still has a free slot: an untainted request
+        # completes well inside its own budget
+        status, _, data = server.post(
+            "compile", {"source": SOURCE, "label": "brisk"})
+        assert status == 200
+
+    def test_hung_computation_still_warms_the_cache(self, inject,
+                                                    server_factory):
+        """A timed-out-but-running job is left to finish (cancelling a
+        busy worker is impossible); its artifacts land in the cache, so
+        a later identical request is a warm hit."""
+        inject("hang:tardy:1")
+        server = server_factory(jobs=2, request_timeout=0.3)
+        payload = {"source": SOURCE, "label": "tardy-1"}
+        status, _, _ = server.post("compile", payload)
+        assert status == 504
+        import time
+        time.sleep(1.5)  # let the hung worker finish and publish
+        status, cache, data = server.post("compile", payload)
+        assert status == 200
+        assert json.loads(data)["result"]["ops"] > 0
+
+
+class TestCorruptCache:
+    def test_corrupt_shard_entries_rebuild_identically(self, server_factory,
+                                                       tmp_path):
+        cache_root = str(tmp_path / "shared-cache")
+        first_server = server_factory(jobs=2, cache_root=cache_root)
+        payload = {"source": SOURCE, "kind": "spec"}
+        status, _, original = first_server.post("disambiguate", payload)
+        assert status == 200
+        first_server.stop()
+
+        corrupted = 0
+        for dirpath, _, filenames in os.walk(cache_root):
+            for filename in filenames:
+                if filename.endswith(".pkl"):
+                    with open(os.path.join(dirpath, filename), "wb") as fh:
+                        fh.write(b"\x80garbage, not a pickle")
+                    corrupted += 1
+        assert corrupted > 0
+
+        # a fresh server (cold memory tier) hits the corrupt entries,
+        # drops them, recomputes, and renders byte-identical output
+        second_server = server_factory(jobs=2, cache_root=cache_root)
+        status, cache, rebuilt = second_server.post("disambiguate", payload)
+        assert status == 200 and cache == "miss"
+        assert rebuilt == original

@@ -1,0 +1,65 @@
+"""Load generator: seeded determinism and a small end-to-end smoke."""
+
+from repro.serve.loadgen import BENCH_SCHEMA, build_shapes, run_loadgen
+
+
+class TestBuildShapes:
+    def test_same_seed_same_shapes(self):
+        assert build_shapes(0, 12) == build_shapes(0, 12)
+
+    def test_different_seed_different_shapes(self):
+        assert build_shapes(0, 12) != build_shapes(1, 12)
+
+    def test_shapes_are_valid_payloads(self):
+        for endpoint, payload in build_shapes(3, 20):
+            assert endpoint in ("compile", "disambiguate", "time",
+                                "hwtime", "report")
+            assert payload["source"].strip()
+            assert payload["label"].startswith("loadgen/")
+
+    def test_endpoint_filter(self):
+        shapes = build_shapes(0, 10, endpoints=("compile",))
+        assert {endpoint for endpoint, _ in shapes} == {"compile"}
+
+
+class TestLoadgenSmoke:
+    def test_deterministic_seeded_smoke(self, server):
+        """The satellite smoke: a seeded run against a live server —
+        zero errors, fully warm after warmup, sane payload shape."""
+        payload = run_loadgen("127.0.0.1", server.port, clients=4,
+                              requests=32, seed=0, pool_size=4,
+                              timeout=300.0)
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["config"]["seed"] == 0
+        assert payload["shapes"]["count"] == 4
+
+        results = payload["results"]
+        assert results["requests"] == 32
+        assert results["errors"] == 0
+        assert results["status_counts"] == {"200": 32}
+        assert results["hit_rate"] == 1.0  # warmup covered every shape
+        assert results["cache"].get("hit", 0) == 32
+        assert results["latency_ms"]["p50"] > 0
+        assert results["latency_ms"]["p95"] >= results["latency_ms"]["p50"]
+        assert results["server_latency_ms"]["hit_count"] >= 32
+        assert results["server_latency_ms"]["hit_p50"] >= 0
+
+        delta = results["server_delta"]
+        assert delta["serve.requests"] == 32
+        assert delta["serve.errors"] == 0
+        assert delta["serve.cache_hits"] + delta["serve.dedup_hits"] == 32
+        assert delta["serve.worker_crashes"] == 0
+
+    def test_server_counters_match_client_view(self, server):
+        first = run_loadgen("127.0.0.1", server.port, clients=2,
+                            requests=10, seed=7, pool_size=3,
+                            timeout=300.0)
+        # a second run over the same shapes is warm end to end and
+        # byte-deterministic on the server side, so nothing recomputes
+        second = run_loadgen("127.0.0.1", server.port, clients=2,
+                             requests=10, seed=7, pool_size=3,
+                             timeout=300.0)
+        assert second["results"]["errors"] == 0
+        assert second["results"]["hit_rate"] == 1.0
+        assert second["results"]["server_delta"]["serve.executions"] == 0
+        assert first["shapes"] == second["shapes"]
