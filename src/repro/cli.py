@@ -6,6 +6,8 @@ Usage (also via ``python -m repro``)::
     repro compile PROGRAM.tc             # dump the decision-tree IR
     repro analyze PROGRAM.tc [options]   # cycles under all disambiguators
     repro bench NAME [options]           # same for a built-in benchmark
+    repro bench --corpus [options]       # stream the generated corpus
+    repro corpus {build,verify,stats}    # curate the program corpus
     repro trace TARGET [options]         # per-pass timing tree + metrics
     repro report {table6_1,...,all}      # regenerate a paper table/figure
     repro hwcompare [NAME...] [options]  # compiler vs. hardware sweep
@@ -43,6 +45,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from . import obs
@@ -62,6 +65,10 @@ from .sim.evaluate import evaluate_program
 from .sim.interpreter import run_program
 
 __all__ = ["main"]
+
+#: Mirrors repro.corpus.manifest.DEFAULT_MANIFEST_PATH without paying
+#: the corpus import at CLI startup (pinned by tests/corpus/test_cli).
+_DEFAULT_CORPUS_MANIFEST = Path("benchmarks") / "corpus" / "manifest.json"
 
 
 def _load_source(path: str) -> str:
@@ -239,6 +246,16 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    if args.corpus is not None:
+        if args.name is not None:
+            print("bench: give either a benchmark name or --corpus, "
+                  "not both", file=sys.stderr)
+            return 2
+        return _cmd_bench_corpus(args)
+    if args.name is None:
+        print("bench: benchmark name required (or --corpus); "
+              "see 'repro list'", file=sys.stderr)
+        return 2
     if args.name not in SUITE:
         print(f"unknown benchmark {args.name!r}; see 'repro list'",
               file=sys.stderr)
@@ -261,6 +278,126 @@ def _cmd_bench(args) -> int:
 
     return _run_analysis(args, compiled.program, args.name,
                          reference=compiled.reference, stages=stages)
+
+
+def _cmd_bench_corpus(args) -> int:
+    """``repro bench --corpus``: stream a corpus slice through the
+    cached pipeline and write the BENCH_corpus.json payload."""
+    from .corpus import history_benchmarks, load_manifest, run_corpus_bench
+    from .machine.hw import hw_machine
+    from .pipeline.core import Pipeline
+
+    try:
+        manifest = load_manifest(args.corpus)
+    except (OSError, ValueError) as error:
+        print(f"bench --corpus: {error}", file=sys.stderr)
+        return 2
+    mach = _machine_from(args)
+    pipeline = Pipeline(spd_config=_spd_config_from(args),
+                        graft=GraftConfig() if args.graft else None,
+                        passes=_pass_config_from(args),
+                        engine=_engine_from(args))
+    hw = (hw_machine(4, mach.latencies.memory)
+          if args.hw_sample > 0 else None)
+    try:
+        payload = run_corpus_bench(
+            pipeline, manifest, mach, stratum=args.stratum, jobs=args.jobs,
+            hw_machine=hw, hw_sample=args.hw_sample, stable=args.stable,
+            manifest_path=args.corpus,
+            progress=lambda msg: print(f"corpus: {msg}", file=sys.stderr))
+    except ValueError as error:
+        print(f"bench --corpus: {error}", file=sys.stderr)
+        return 2
+    totals = payload["totals"]
+    selection = payload["selection"]
+    print(f"corpus bench: {selection['programs']} programs in "
+          f"{len(payload['strata'])} strata on {mach.name}: "
+          f"geomean SPEC/NAIVE speedup "
+          f"{totals['geomean_speedup_spec_over_naive']:.4f}, "
+          f"SpD applied to {totals['spd']['programs_applied']} programs "
+          f"({totals['spd']['application_rate']:.1%}), "
+          f"code growth {totals['code_growth_mean']:.3f}x")
+    if payload["lab"]:
+        lab = payload["lab"]
+        print(f"corpus bench: {lab['elapsed_s']:.1f}s at --jobs "
+              f"{lab['jobs']}, cache {lab['cache']['hits_mem']} mem / "
+              f"{lab['cache']['hits_disk']} disk hits, "
+              f"{lab['cache']['misses']} misses")
+    if args.record:
+        from .perf.history import append_record, make_record
+        if mach.num_fus is None:
+            print("bench --corpus: --record needs a finite machine "
+                  "(the history schema records num_fus >= 1)",
+                  file=sys.stderr)
+            return 2
+        try:
+            record = make_record(mach.name, mach.num_fus,
+                                 mach.latencies.memory,
+                                 history_benchmarks(payload))
+        except ValueError as error:
+            print(f"bench --corpus: {error}", file=sys.stderr)
+            return 2
+        append_record(args.record, record)
+        print(f"corpus bench: recorded to {args.record}")
+    if args.json:
+        return _write_json(args.json, payload)
+    return 0
+
+
+def _cmd_corpus(args) -> int:
+    """``repro corpus build/verify/stats``: curate, re-prove or
+    summarise the committed program corpus."""
+    from .corpus import (BuildSpec, build_manifest, load_manifest,
+                         manifest_stats, verify_manifest, write_manifest)
+
+    def progress(message: str) -> None:
+        print(f"corpus: {message}", file=sys.stderr)
+
+    if args.corpus_command == "build":
+        spec = BuildSpec(target_size=args.target_size,
+                         per_config=args.per_config,
+                         campaign_seed=args.campaign_seed,
+                         smoke_size=args.smoke_size)
+        manifest = build_manifest(spec, jobs=args.jobs, progress=progress)
+        write_manifest(args.out, manifest)
+        print(f"corpus build: {len(manifest['entries'])} entries in "
+              f"{len(manifest['strata'])} strata -> {args.out}")
+        return 0
+
+    try:
+        manifest = load_manifest(args.manifest)
+    except (OSError, ValueError) as error:
+        print(f"corpus {args.corpus_command}: {error}", file=sys.stderr)
+        return 2
+    if args.corpus_command == "verify":
+        problems = verify_manifest(manifest, full=args.full,
+                                   progress=progress)
+        if problems:
+            for problem in problems[:20]:
+                print(f"corpus verify: {problem}", file=sys.stderr)
+            if len(problems) > 20:
+                print(f"corpus verify: ... and {len(problems) - 20} more",
+                      file=sys.stderr)
+            return 1
+        mode = "full" if args.full else "fingerprint"
+        print(f"corpus verify: {len(manifest['entries'])} entries OK "
+              f"({mode} check)")
+        return 0
+    # stats
+    stats = manifest_stats(manifest)
+    if args.json:
+        return _write_json(args.json, stats)
+    print(f"corpus: {stats['entries']} entries "
+          f"({stats['smoke_entries']} smoke), generator v"
+          f"{stats['generator_version']}, {len(stats['strata'])} strata:")
+    width = max(len(name) for name in stats["strata"])
+    print(f"  {'stratum':<{width}s} {'programs':>9} {'smoke':>6} "
+          f"{'ops min':>8} {'median':>7} {'max':>6}")
+    for name, bucket in stats["strata"].items():
+        print(f"  {name:<{width}s} {bucket['programs']:>9d} "
+              f"{bucket['smoke']:>6d} {bucket['ops_min']:>8d} "
+              f"{bucket['ops_median']:>7d} {bucket['ops_max']:>6d}")
+    return 0
 
 
 def _write_text(path: str, text: str) -> int:
@@ -609,13 +746,28 @@ def _cmd_loadgen(args) -> int:
     BENCH_serve.json payload.  Exits 1 if any request errored."""
     from .serve.loadgen import run_loadgen
 
+    programs = None
+    program_pool = "builtin"
+    if args.corpus is not None:
+        from .corpus import entry_source, load_manifest
+        try:
+            manifest = load_manifest(args.corpus)
+        except (OSError, ValueError) as error:
+            print(f"repro loadgen: {error}", file=sys.stderr)
+            return 2
+        # the smoke cross-section keeps a cold warmup interactive while
+        # still spanning every stratum (program sizes 40-1500 ops)
+        programs = [(entry["id"], entry_source(manifest, entry))
+                    for entry in manifest["entries"] if entry.get("smoke")]
+        program_pool = "corpus"
     try:
         payload = run_loadgen(
             args.host, args.port, clients=args.clients,
             requests=args.requests, seed=args.seed,
             pool_size=args.pool_size, warmup=not args.no_warmup,
-            timeout=args.timeout)
-    except (OSError, RuntimeError) as error:
+            timeout=args.timeout, programs=programs,
+            program_pool=program_pool)
+    except (OSError, RuntimeError, ValueError) as error:
         print(f"repro loadgen: {error}", file=sys.stderr)
         return 2
     results = payload["results"]
@@ -771,13 +923,72 @@ def build_parser() -> argparse.ArgumentParser:
     add_json_flag(p_analyze)
     p_analyze.set_defaults(func=_cmd_analyze)
 
-    p_bench = sub.add_parser("bench", help="analyse a built-in benchmark")
-    p_bench.add_argument("name")
+    p_bench = sub.add_parser(
+        "bench", help="analyse a built-in benchmark or the whole corpus")
+    p_bench.add_argument("name", nargs="?", default=None,
+                         help="built-in benchmark name (omit with --corpus)")
     add_machine_flags(p_bench)
     add_json_flag(p_bench)
     add_jobs_flag(p_bench)
     add_profile_flag(p_bench)
+    p_bench.add_argument("--corpus", nargs="?", metavar="MANIFEST",
+                         const=str(_DEFAULT_CORPUS_MANIFEST), default=None,
+                         help="run the generated corpus instead of one "
+                              "benchmark (default manifest: %(const)s)")
+    p_bench.add_argument("--stratum", default=None, metavar="S",
+                         help="corpus slice: a stratum name or 'smoke' "
+                              "(default: the whole corpus)")
+    p_bench.add_argument("--hw-sample", type=int, default=0, metavar="N",
+                         help="also hwsim the SPEC view of the N smallest "
+                              "programs per stratum (default 0 = off)")
+    p_bench.add_argument("--stable", action="store_true",
+                         help="strip host-dependent lab telemetry so the "
+                              "corpus payload is byte-identical across "
+                              "reruns and --jobs values")
+    p_bench.add_argument("--record", metavar="PATH", default=None,
+                         help="append the corpus run to a perf-history "
+                              "JSONL file")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_corpus = sub.add_parser(
+        "corpus", help="curate / verify / summarise the program corpus")
+    corpus_sub = p_corpus.add_subparsers(dest="corpus_command", required=True)
+
+    p_cbuild = corpus_sub.add_parser(
+        "build", help="drive the generator seed grid into a manifest")
+    p_cbuild.add_argument("--out", default=str(_DEFAULT_CORPUS_MANIFEST),
+                          help="manifest destination (default %(default)s)")
+    p_cbuild.add_argument("--target-size", type=int, default=1000,
+                          metavar="N",
+                          help="entries to select (default %(default)s)")
+    p_cbuild.add_argument("--per-config", type=int, default=170, metavar="N",
+                          help="candidate seeds per generator config "
+                               "(default %(default)s)")
+    p_cbuild.add_argument("--campaign-seed", type=int, default=2026,
+                          help="base seed of the grid (default %(default)s)")
+    p_cbuild.add_argument("--smoke-size", type=int, default=30, metavar="N",
+                          help="entries flagged for the CI smoke slice "
+                               "(default %(default)s)")
+    add_jobs_flag(p_cbuild)
+    p_cbuild.set_defaults(func=_cmd_corpus)
+
+    p_cverify = corpus_sub.add_parser(
+        "verify", help="regenerate every entry and check fingerprints")
+    p_cverify.add_argument("--manifest",
+                           default=str(_DEFAULT_CORPUS_MANIFEST),
+                           help="manifest to verify (default %(default)s)")
+    p_cverify.add_argument("--full", action="store_true",
+                           help="also re-measure features, op counts and "
+                                "strata (a frontend run per entry)")
+    p_cverify.set_defaults(func=_cmd_corpus)
+
+    p_cstats = corpus_sub.add_parser(
+        "stats", help="per-stratum summary of a manifest")
+    p_cstats.add_argument("--manifest",
+                          default=str(_DEFAULT_CORPUS_MANIFEST),
+                          help="manifest to summarise (default %(default)s)")
+    add_json_flag(p_cstats)
+    p_cstats.set_defaults(func=_cmd_corpus)
 
     p_trace = sub.add_parser(
         "trace", help="per-pass timing tree and metrics for one program")
@@ -919,6 +1130,12 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="SECONDS",
                            help="per-request client timeout "
                                 "(default %(default)s)")
+    p_loadgen.add_argument("--corpus", nargs="?", metavar="MANIFEST",
+                           const=str(_DEFAULT_CORPUS_MANIFEST), default=None,
+                           help="draw request programs from a corpus "
+                                "manifest's smoke slice instead of the "
+                                "built-in benchmarks (default manifest: "
+                                "%(const)s)")
     add_json_flag(p_loadgen)
     p_loadgen.set_defaults(func=_cmd_loadgen)
 

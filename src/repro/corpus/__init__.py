@@ -1,0 +1,38 @@
+"""Macro-benchmark corpus lab (``repro.corpus``).
+
+The paper's 14 kernels top out at 244 decision-tree ops; this package
+turns the seeded fuzz grammar (:mod:`repro.fuzz.generator`) into a
+curated, committed corpus of ~1000 deterministic programs so the
+pipeline, cache and executor can be measured at real scale:
+
+* :mod:`repro.corpus.features` — shape-feature extraction (op count,
+  aliasing density, diamond depth, loop nesting) and the stratum
+  classification built on it;
+* :mod:`repro.corpus.manifest` — the seed-grid curator behind
+  ``repro corpus build/verify/stats`` and the committed
+  ``benchmarks/corpus/manifest.json`` (schema ``repro.corpus/1``);
+* :mod:`repro.corpus.bench` — the streaming benchmark engine behind
+  ``repro bench --corpus`` and ``BENCH_corpus.json`` (schema
+  ``repro.bench_corpus/1``).
+
+Sources are never stored: every entry is ``(config, seed)`` plus a
+sha256 fingerprint, regenerated on demand and re-proved by
+``repro corpus verify``.
+"""
+
+from .bench import BENCH_CORPUS_SCHEMA, history_benchmarks, run_corpus_bench
+from .features import (ShapeFeatures, compiled_ops, extract_features,
+                       features_of_unit, stratum_of)
+from .manifest import (CONFIG_TIERS, CORPUS_SCHEMA, DEFAULT_MANIFEST_PATH,
+                       BuildSpec, build_manifest, entry_source, load_manifest,
+                       manifest_stats, select_bench_entries, select_entries,
+                       verify_manifest, write_manifest)
+
+__all__ = [
+    "BENCH_CORPUS_SCHEMA", "CONFIG_TIERS", "CORPUS_SCHEMA",
+    "DEFAULT_MANIFEST_PATH", "BuildSpec", "ShapeFeatures",
+    "build_manifest", "compiled_ops", "entry_source", "extract_features",
+    "features_of_unit", "history_benchmarks", "load_manifest",
+    "manifest_stats", "run_corpus_bench", "select_bench_entries",
+    "select_entries", "stratum_of", "verify_manifest", "write_manifest",
+]

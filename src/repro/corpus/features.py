@@ -1,0 +1,223 @@
+"""Shape-feature extraction for corpus curation.
+
+A corpus entry is classified by the *shape* of its program — how big
+it is, how memory-bound, how deeply its control nests — so the curator
+can stratify the population instead of committing whatever the seed
+grid happened to produce.  Two complementary measurements:
+
+* :func:`extract_features` walks the parsed AST (one :func:`parse`
+  call, no lowering) and counts syntactic shape: node count, memory
+  references (loads / stores), call sites, the deepest ``if`` nesting
+  ("diamond depth" — each level if-converts into another guard layer)
+  and the deepest loop nesting.  AST features are cheap (~4 ms per
+  program) and *stable under re-parse*: they depend only on program
+  structure, never on formatting, comments or the dict order of any
+  intermediate.
+
+* :func:`compiled_ops` runs the real frontend and reports the decision
+  -tree operation count — the paper's program-size measure (Table 6-2
+  counts the 14 kernels at 171–244 ops).  It is ~2x the cost of a
+  parse, so the curator calls it once per candidate and records the
+  result in the manifest.
+
+:func:`stratum_of` buckets a measured program into its stratum name
+(``size/alias/control/diamond``, e.g. ``md-hi-loop-d1``); the bucket
+edges are part of the corpus schema and documented in docs/corpus.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..frontend import ast_nodes as ast
+from ..frontend.parser import parse
+
+__all__ = ["ShapeFeatures", "extract_features", "features_of_unit",
+           "compiled_ops", "stratum_of", "SIZE_EDGES", "ALIAS_EDGE",
+           "size_class", "alias_class", "control_class", "diamond_class"]
+
+
+@dataclass(frozen=True)
+class ShapeFeatures:
+    """Syntactic shape of one tinyc program (AST walk, no lowering)."""
+
+    nodes: int          #: total AST statement + expression nodes
+    loads: int          #: array-read expressions (``a[i]`` as a value)
+    stores: int         #: array-write statements (``a[i] = ...``)
+    calls: int          #: call expressions and call statements
+    diamond_depth: int  #: deepest ``if`` nesting (if-conversion layers)
+    loop_nesting: int   #: deepest ``for``/``while`` nesting
+
+    @property
+    def mem_refs(self) -> int:
+        return self.loads + self.stores
+
+    @property
+    def alias_density(self) -> float:
+        """Memory references per AST node — how memory-flavoured the
+        program is, independent of its absolute size."""
+        return self.mem_refs / self.nodes if self.nodes else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload["alias_density"] = round(self.alias_density, 6)
+        return payload
+
+
+class _Walker:
+    """Single-pass AST walk accumulating every shape counter."""
+
+    def __init__(self) -> None:
+        self.nodes = 0
+        self.loads = 0
+        self.stores = 0
+        self.calls = 0
+        self.diamond_depth = 0
+        self.loop_nesting = 0
+
+    def unit(self, unit: ast.TranslationUnit) -> None:
+        for decl in unit.globals_:
+            self.nodes += 1
+        for func in unit.functions:
+            self.nodes += 1
+            self.block(func.body, if_depth=0, loop_depth=0)
+
+    def block(self, body: Iterable[ast.Stmt], if_depth: int,
+              loop_depth: int) -> None:
+        for stmt in body:
+            self.stmt(stmt, if_depth, loop_depth)
+
+    def stmt(self, stmt: ast.Stmt, if_depth: int, loop_depth: int) -> None:
+        self.nodes += 1
+        if isinstance(stmt, (ast.DeclStmt, ast.Assign)):
+            self.expr(stmt.init if isinstance(stmt, ast.DeclStmt)
+                      else stmt.value)
+        elif isinstance(stmt, ast.ArrayDeclStmt):
+            pass
+        elif isinstance(stmt, ast.IndexAssign):
+            self.stores += 1
+            for index in stmt.indices:
+                self.expr(index)
+            self.expr(stmt.value)
+        elif isinstance(stmt, ast.If):
+            if_depth += 1
+            self.diamond_depth = max(self.diamond_depth, if_depth)
+            self.expr(stmt.cond)
+            self.block(stmt.then_body, if_depth, loop_depth)
+            self.block(stmt.else_body, if_depth, loop_depth)
+        elif isinstance(stmt, (ast.While, ast.For)):
+            loop_depth += 1
+            self.loop_nesting = max(self.loop_nesting, loop_depth)
+            if isinstance(stmt, ast.For):
+                if stmt.init is not None:
+                    self.stmt(stmt.init, if_depth, loop_depth)
+                if stmt.step is not None:
+                    self.stmt(stmt.step, if_depth, loop_depth)
+            self.expr(stmt.cond)
+            self.block(stmt.body, if_depth, loop_depth)
+        elif isinstance(stmt, (ast.Return, ast.Print)):
+            self.expr(stmt.value)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.expr(stmt.expr)
+        elif isinstance(stmt, ast.Block):
+            self.block(stmt.body, if_depth, loop_depth)
+
+    def expr(self, expr: Optional[ast.Expr]) -> None:
+        if expr is None:
+            return
+        self.nodes += 1
+        if isinstance(expr, ast.Index):
+            self.loads += 1
+            for index in expr.indices:
+                self.expr(index)
+        elif isinstance(expr, ast.Unary):
+            self.expr(expr.operand)
+        elif isinstance(expr, ast.Binary):
+            self.expr(expr.left)
+            self.expr(expr.right)
+        elif isinstance(expr, ast.Call):
+            self.calls += 1
+            for arg in expr.args:
+                self.expr(arg)
+
+
+def features_of_unit(unit: ast.TranslationUnit) -> ShapeFeatures:
+    """Shape features of an already-parsed translation unit."""
+    walker = _Walker()
+    walker.unit(unit)
+    return ShapeFeatures(nodes=walker.nodes, loads=walker.loads,
+                         stores=walker.stores, calls=walker.calls,
+                         diamond_depth=walker.diamond_depth,
+                         loop_nesting=walker.loop_nesting)
+
+
+def extract_features(source: str) -> ShapeFeatures:
+    """Parse *source* and measure its syntactic shape."""
+    return features_of_unit(parse(source))
+
+
+def compiled_ops(source: str) -> int:
+    """Decision-tree operation count of the fully compiled program —
+    the paper's size measure, one full frontend run per call."""
+    from ..frontend.driver import compile_source
+    return compile_source(source).size()
+
+
+# ---------------------------------------------------------------------------
+# stratum classification
+# ---------------------------------------------------------------------------
+
+#: Upper edges (exclusive) of the xs / sm / md size classes by compiled
+#: op count; anything >= the last edge is ``lg``.  The edges bracket the
+#: paper's kernel range (171-244 ops): xs/sm are smaller than any paper
+#: kernel, md covers it, lg exceeds it.
+SIZE_EDGES = (130, 220, 400)
+
+#: Memory references per AST node separating the lo / hi alias classes
+#: (the generator's observability tail keeps every program above ~0.04,
+#: and alias-biased draws push past ~0.06; see docs/corpus.md).
+ALIAS_EDGE = 0.058
+
+
+def size_class(ops: int) -> str:
+    for name, edge in zip(("xs", "sm", "md"), SIZE_EDGES):
+        if ops < edge:
+            return name
+    return "lg"
+
+
+def alias_class(density: float) -> str:
+    return "hi" if density >= ALIAS_EDGE else "lo"
+
+
+def control_class(loop_nesting: int) -> str:
+    """Loop-shape bucket.  Every generated program carries the
+    observability dump loop, so ``loop`` (nesting <= 1) is the floor;
+    ``nest`` is one level of real nesting, ``deep`` two or more."""
+    if loop_nesting <= 1:
+        return "loop"
+    return "nest" if loop_nesting == 2 else "deep"
+
+
+def diamond_class(diamond_depth: int) -> str:
+    return "d2" if diamond_depth >= 2 else "d1"
+
+
+def stratum_of(features: ShapeFeatures, ops: int) -> str:
+    """The stratum name of a measured program: four classification axes
+    joined as ``size-alias-control-diamond``."""
+    return "-".join((size_class(ops),
+                     alias_class(features.alias_density),
+                     control_class(features.loop_nesting),
+                     diamond_class(features.diamond_depth)))
+
+
+def all_axis_values() -> Dict[str, List[str]]:
+    """Every possible value per classification axis (docs + stats)."""
+    return {
+        "size": ["xs", "sm", "md", "lg"],
+        "alias": ["lo", "hi"],
+        "control": ["loop", "nest", "deep"],
+        "diamond": ["d1", "d2"],
+    }

@@ -24,11 +24,11 @@ same program text, and a campaign's program *i* is reproducible from
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, List, Optional
 
 __all__ = ["GeneratorConfig", "ProgramGenerator", "generate_program",
-           "program_seed"]
+           "program_seed", "config_to_dict", "config_from_dict"]
 
 #: Grammar/version tag recorded in corpus entries: bump when the
 #: generator's output for a given seed changes.
@@ -432,3 +432,29 @@ def generate_program(seed: int,
                      config: GeneratorConfig = GeneratorConfig()) -> str:
     """One-shot helper: the program for *seed* under *config*."""
     return ProgramGenerator(seed=seed, config=config).generate()
+
+
+def config_to_dict(config: GeneratorConfig) -> Dict[str, object]:
+    """JSON-ready generator parameters, sorted by field name.
+
+    The corpus manifest (schema ``repro.corpus/1``) records these next
+    to each entry's seed so any program is regenerable from the two —
+    sources are never committed.
+    """
+    return dict(sorted(asdict(config).items()))
+
+
+def config_from_dict(params: Dict[str, object]) -> GeneratorConfig:
+    """Rebuild a :class:`GeneratorConfig` from manifest parameters.
+
+    Unknown keys are rejected rather than ignored: a manifest written
+    by a newer grammar must not silently regenerate *different*
+    programs under an old toolchain.
+    """
+    known = {field.name for field in fields(GeneratorConfig)}
+    unknown = sorted(set(params) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown generator parameter(s) {', '.join(unknown)}: "
+            f"manifest written by a newer generator?")
+    return GeneratorConfig(**params)

@@ -224,3 +224,11 @@ class Pipeline:
         job order regardless of worker scheduling."""
         from .executor import run_jobs
         return run_jobs(self, jobs, num_jobs)
+
+    def stream(self, jobs: Sequence, num_jobs: int = 1, chunksize: int = 4):
+        """Like :meth:`prefetch` but yields results one at a time and
+        never accumulates artifacts in this pipeline's memory tier —
+        the corpus-scale path: a consumer can fold a thousand-program
+        run into aggregates while holding O(1) artifacts."""
+        from .executor import stream_jobs
+        return stream_jobs(self, jobs, num_jobs, chunksize=chunksize)

@@ -49,7 +49,7 @@ from .core import Pipeline
 from .store import ArtifactStore
 
 __all__ = ["CompileJob", "ViewJob", "TimingJob", "HwTimingJob", "run_jobs",
-           "artifact_stage"]
+           "stream_jobs", "artifact_stage"]
 
 
 @dataclass(frozen=True)
@@ -106,6 +106,7 @@ class _WorkerSpec:
     trace: bool = False
     profile_top_n: Optional[int] = None
     engine: str = "jit"
+    keep_spans: bool = True
 
 
 @dataclass
@@ -126,13 +127,15 @@ class _WorkerResult:
 #: processing several jobs for one program reuses its in-memory tier.
 _worker_pipeline: Optional[Pipeline] = None
 _worker_trace: bool = False
+_worker_keep_spans: bool = True
 
 
 def _init_worker(spec: _WorkerSpec) -> None:
-    global _worker_pipeline, _worker_trace
+    global _worker_pipeline, _worker_trace, _worker_keep_spans
     obs.disable()  # a forked parent tracer would record into a dead copy
     obs.disable_profiling()
     _worker_trace = spec.trace
+    _worker_keep_spans = spec.keep_spans
     if spec.trace and spec.profile_top_n is not None:
         obs.enable_profiling(spec.profile_top_n)
     _worker_pipeline = Pipeline(
@@ -152,7 +155,10 @@ def _run_job(job: Job) -> _WorkerResult:
         with obs.span("pipeline.worker_job", job=job.label,
                       worker_pid=os.getpid()) as job_span:
             artifact = _run_on(_worker_pipeline, job)
-    return _WorkerResult(artifact, job_span, tracer.metrics)
+    # at corpus scale span subtrees dominate the shipped payload, so
+    # metrics-only runs drop them (counters/histograms still merge)
+    return _WorkerResult(artifact, job_span if _worker_keep_spans else None,
+                         tracer.metrics)
 
 
 def _run_on(pipeline: Pipeline, job: Job):
@@ -172,6 +178,20 @@ def _pool_context():
         "fork" if "fork" in methods else "spawn")
 
 
+def _spec_for(pipeline: Pipeline, trace: bool,
+              keep_spans: bool) -> _WorkerSpec:
+    return _WorkerSpec(
+        spd_config=pipeline.spd_config, graft=pipeline.graft,
+        validate_spec_output=pipeline.validate_spec_output,
+        cache_root=(str(pipeline.store.root)
+                    if pipeline.store.root is not None else None),
+        passes=pipeline.passes, guard_words=pipeline.guard_words,
+        trace=trace,
+        profile_top_n=(obs.profile.DEFAULT_TOP_N
+                       if obs.is_profiling() else None),
+        engine=pipeline.engine, keep_spans=keep_spans)
+
+
 def run_jobs(pipeline: Pipeline, jobs: Sequence[Job],
              num_jobs: int = 1) -> List[object]:
     """Execute *jobs* against *pipeline*; results in job order.
@@ -186,16 +206,7 @@ def run_jobs(pipeline: Pipeline, jobs: Sequence[Job],
 
     workers = min(num_jobs, len(jobs))
     tracer = obs.current_tracer()
-    spec = _WorkerSpec(
-        spd_config=pipeline.spd_config, graft=pipeline.graft,
-        validate_spec_output=pipeline.validate_spec_output,
-        cache_root=(str(pipeline.store.root)
-                    if pipeline.store.root is not None else None),
-        passes=pipeline.passes, guard_words=pipeline.guard_words,
-        trace=tracer is not None,
-        profile_top_n=(obs.profile.DEFAULT_TOP_N
-                       if obs.is_profiling() else None),
-        engine=pipeline.engine)
+    spec = _spec_for(pipeline, trace=tracer is not None, keep_spans=True)
     with obs.span("pipeline.parallel", jobs=workers,
                   tasks=len(jobs)) as parallel_span:
         obs.set_gauge("pipeline.jobs", workers)
@@ -220,6 +231,41 @@ def run_jobs(pipeline: Pipeline, jobs: Sequence[Job],
         pipeline.store.put_memory(artifact_stage(artifact),
                                   artifact.fingerprint, artifact)
     return results
+
+
+def stream_jobs(pipeline: Pipeline, jobs: Sequence[Job], num_jobs: int = 1,
+                chunksize: int = 4):
+    """Yield job results in job order without accumulating them.
+
+    The corpus-scale sibling of :func:`run_jobs`: artifacts are yielded
+    one at a time (``Pool.imap``, ordered) and are **not** inserted into
+    the parent's in-memory tier, so a thousand-program run holds O(1)
+    artifacts in the parent regardless of corpus size — the shared disk
+    tier still ends up fully populated by the workers.  Worker metrics
+    registries are merged into the parent tracer as results arrive, but
+    span subtrees are dropped at the source (``keep_spans=False``):
+    at this scale the counters and stage-duration histograms are the
+    signal and per-job span trees would dominate the shipped payload.
+    """
+    jobs = list(jobs)
+    if num_jobs <= 1 or len(jobs) <= 1:
+        for job in jobs:
+            yield _run_on(pipeline, job)
+        return
+
+    workers = min(num_jobs, len(jobs))
+    tracer = obs.current_tracer()
+    spec = _spec_for(pipeline, trace=tracer is not None, keep_spans=False)
+    with obs.span("pipeline.stream", jobs=workers, tasks=len(jobs)):
+        obs.set_gauge("pipeline.jobs", workers)
+        obs.incr("pipeline.parallel_tasks", len(jobs))
+        ctx = _pool_context()
+        with ctx.Pool(workers, initializer=_init_worker,
+                      initargs=(spec,)) as pool:
+            for result in pool.imap(_run_job, jobs, chunksize=chunksize):
+                if tracer is not None and result.metrics is not None:
+                    tracer.metrics.merge(result.metrics)
+                yield result.artifact
 
 
 def artifact_stage(artifact) -> str:

@@ -49,10 +49,16 @@ _DELTA_COUNTERS = ("serve.requests", "serve.errors", "serve.cache_hits",
 
 
 def build_shapes(seed: int, pool_size: int = 12,
-                 endpoints: Optional[Sequence[str]] = None
+                 endpoints: Optional[Sequence[str]] = None,
+                 programs: Optional[Sequence[Tuple[str, str]]] = None
                  ) -> List[Tuple[str, Dict[str, object]]]:
     """The deterministic request pool: *pool_size* (endpoint, payload)
-    pairs drawn from a seed-keyed RNG."""
+    pairs drawn from a seed-keyed RNG.
+
+    *programs* overrides the built-in benchmark pool with explicit
+    ``(name, source)`` pairs — ``repro loadgen --corpus`` passes corpus
+    manifest entries here so serve-layer load tests exercise realistic
+    program sizes instead of the six smallest paper kernels."""
     rng = random.Random(f"shapes:{seed}")
     weighted: List[str] = []
     for endpoint, weight in _ENDPOINT_WEIGHTS:
@@ -60,14 +66,18 @@ def build_shapes(seed: int, pool_size: int = 12,
             weighted.extend([endpoint] * weight)
     if not weighted:
         raise ValueError("no endpoints selected")
+    if programs is None:
+        programs = [(name, SUITE[name].source) for name in _BENCHMARKS]
+    elif not programs:
+        raise ValueError("empty program pool")
     kinds = [kind.value for kind in Disambiguator]
     shapes: List[Tuple[str, Dict[str, object]]] = []
     for index in range(pool_size):
         endpoint = weighted[rng.randrange(len(weighted))]
-        name = _BENCHMARKS[rng.randrange(len(_BENCHMARKS))]
+        name, source = programs[rng.randrange(len(programs))]
         payload: Dict[str, object] = {
             "label": f"loadgen/{name}/{index}",
-            "source": SUITE[name].source,
+            "source": source,
         }
         if endpoint in ("disambiguate", "time", "hwtime"):
             payload["kind"] = kinds[rng.randrange(len(kinds))]
@@ -152,16 +162,20 @@ def _run_client(host: str, port: int, shapes, seed: int, client: int,
 def run_loadgen(host: str, port: int, *, clients: int = 8,
                 requests: int = 200, seed: int = 0, pool_size: int = 12,
                 warmup: bool = True, timeout: float = 60.0,
-                endpoints: Optional[Sequence[str]] = None
-                ) -> Dict[str, object]:
+                endpoints: Optional[Sequence[str]] = None,
+                programs: Optional[Sequence[Tuple[str, str]]] = None,
+                program_pool: str = "builtin") -> Dict[str, object]:
     """Drive the server at *host*:*port*; return the bench payload.
 
     *requests* is the total across all *clients*.  With ``warmup=True``
     every distinct shape is requested once (serially, generous timeout)
     before the measured window opens, so the measurement reflects a
-    warm cache — the acceptance-gate configuration.
+    warm cache — the acceptance-gate configuration.  *programs* swaps
+    the built-in benchmark pool for explicit ``(name, source)`` pairs
+    (see :func:`build_shapes`); *program_pool* labels the pool in the
+    payload's config block.
     """
-    shapes = build_shapes(seed, pool_size, endpoints)
+    shapes = build_shapes(seed, pool_size, endpoints, programs)
     if warmup:
         conn = http.client.HTTPConnection(host, port,
                                           timeout=max(timeout, 300.0))
@@ -222,7 +236,8 @@ def run_loadgen(host: str, port: int, *, clients: int = 8,
         "schema": BENCH_SCHEMA,
         "config": {"host": host, "port": port, "clients": clients,
                    "requests": requests, "seed": seed,
-                   "pool_size": pool_size, "warmup": warmup},
+                   "pool_size": pool_size, "warmup": warmup,
+                   "program_pool": program_pool},
         "shapes": {
             "count": len(shapes),
             "endpoints": {endpoint: sum(1 for e, _ in shapes

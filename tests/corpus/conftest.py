@@ -1,0 +1,23 @@
+"""Shared fixtures: one small curated manifest per test session.
+
+Building a manifest measures (generate + parse + compile) every grid
+candidate, so the corpus tests share a single session-scoped build of
+a deliberately tiny spec — same code path as the committed ~1000-entry
+manifest, two orders of magnitude less work.
+"""
+
+import pytest
+
+from repro.corpus import BuildSpec, build_manifest
+
+TINY_SPEC = BuildSpec(target_size=24, per_config=6, smoke_size=8)
+
+
+@pytest.fixture(scope="session")
+def tiny_spec():
+    return TINY_SPEC
+
+
+@pytest.fixture(scope="session")
+def tiny_manifest(tiny_spec):
+    return build_manifest(tiny_spec)

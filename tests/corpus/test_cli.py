@@ -1,0 +1,101 @@
+"""CLI surface tests: repro corpus build/verify/stats, repro bench --corpus."""
+
+import json
+
+import pytest
+
+from repro.cli import _DEFAULT_CORPUS_MANIFEST, main
+from repro.corpus import DEFAULT_MANIFEST_PATH, load_manifest
+
+
+@pytest.fixture(scope="module")
+def built(tmp_path_factory):
+    """One CLI-built manifest shared by the module's tests."""
+    path = tmp_path_factory.mktemp("corpus-cli") / "manifest.json"
+    status = main(["corpus", "build", "--out", str(path),
+                   "--target-size", "20", "--per-config", "4",
+                   "--smoke-size", "6"])
+    assert status == 0
+    return path
+
+
+def test_default_manifest_paths_agree():
+    assert str(_DEFAULT_CORPUS_MANIFEST) == str(DEFAULT_MANIFEST_PATH)
+
+
+def test_build_then_verify_and_stats(built, capsys, tmp_path):
+    manifest = load_manifest(built)
+    count = len(manifest["entries"])
+    # coverage beats the head count: >= target, and one per stratum
+    assert count >= 20
+    assert main(["corpus", "verify", "--manifest", str(built)]) == 0
+    assert main(["corpus", "verify", "--manifest", str(built),
+                 "--full"]) == 0
+    capsys.readouterr()
+    assert main(["corpus", "stats", "--manifest", str(built)]) == 0
+    out = capsys.readouterr().out
+    assert f"{count} entries" in out and "stratum" in out
+    stats_json = tmp_path / "stats.json"
+    assert main(["corpus", "stats", "--manifest", str(built),
+                 "--json", str(stats_json)]) == 0
+    stats = json.loads(stats_json.read_text())
+    assert stats["entries"] == count
+
+
+def test_verify_fails_on_tampered_manifest(built, tmp_path):
+    manifest = load_manifest(built)
+    manifest["entries"][0]["seed"] += 1
+    tampered = tmp_path / "tampered.json"
+    tampered.write_text(json.dumps(manifest))
+    assert main(["corpus", "verify", "--manifest", str(tampered)]) == 1
+
+
+def test_corpus_commands_report_missing_manifest(tmp_path):
+    missing = str(tmp_path / "nope.json")
+    assert main(["corpus", "verify", "--manifest", missing]) == 2
+    assert main(["corpus", "stats", "--manifest", missing]) == 2
+
+
+def test_bench_corpus_smoke_stable_json(built, tmp_path):
+    out = tmp_path / "BENCH_corpus.json"
+    status = main(["bench", "--corpus", str(built), "--stratum", "smoke",
+                   "--stable", "--json", str(out)])
+    assert status == 0
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == "repro.bench_corpus/1"
+    assert payload["lab"] is None
+    assert payload["manifest"]["path"] == str(built)
+    assert payload["selection"]["programs"] == 6
+
+
+def test_bench_corpus_records_history(built, tmp_path):
+    history = tmp_path / "history.jsonl"
+    status = main(["bench", "--corpus", str(built), "--stratum", "smoke",
+                   "--record", str(history)])
+    assert status == 0
+    record = json.loads(history.read_text().splitlines()[-1])
+    assert record["schema"] == "repro.perf_history/1"
+    assert "corpus:smoke" in record["benchmarks"]
+    jsonschema = pytest.importorskip("jsonschema")
+    from pathlib import Path
+    schema = json.loads(
+        (Path(__file__).parent.parent / "schemas"
+         / "perf_history.schema.json").read_text())
+    jsonschema.Draft7Validator(schema).validate(record)
+
+
+def test_bench_corpus_record_needs_finite_machine(built, tmp_path):
+    status = main(["bench", "--corpus", str(built), "--stratum", "smoke",
+                   "--fus", "0", "--record", str(tmp_path / "h.jsonl")])
+    assert status == 2
+
+
+def test_bench_argument_errors(built, tmp_path, capsys):
+    assert main(["bench"]) == 2
+    assert "benchmark name required" in capsys.readouterr().err
+    assert main(["bench", "perm", "--corpus", str(built)]) == 2
+    assert "not both" in capsys.readouterr().err
+    assert main(["bench", "--corpus", str(tmp_path / "nope.json")]) == 2
+    assert main(["bench", "--corpus", str(built),
+                 "--stratum", "xl-wat"]) == 2
+    assert "matches no corpus entry" in capsys.readouterr().err

@@ -1,0 +1,102 @@
+"""Unit tests for shape-feature extraction and stratum classification."""
+
+import pytest
+
+from repro.corpus.features import (ALIAS_EDGE, SIZE_EDGES, ShapeFeatures,
+                                   alias_class, all_axis_values,
+                                   compiled_ops, control_class,
+                                   diamond_class, extract_features,
+                                   features_of_unit, size_class, stratum_of)
+from repro.frontend.parser import parse
+
+
+def program(body: str) -> str:
+    return ("int ga[16];\nint gb[16];\n"
+            "int main() {\n" + body + "\nreturn 0;\n}\n")
+
+
+def test_counts_loads_stores_and_calls():
+    features = extract_features(
+        "int ga[16];\n"
+        "int bump(int a) { return a + 1; }\n"
+        "int main() {\n"
+        "int x = ga[0];\n"            # 1 load
+        "ga[1] = ga[2] + bump(x);\n"  # 1 store, 1 load, 1 call
+        "return x;\n"
+        "}\n")
+    assert features.loads == 2
+    assert features.stores == 1
+    assert features.calls == 1
+    assert features.mem_refs == 3
+    assert features.nodes > 0
+    assert 0.0 < features.alias_density < 1.0
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3])
+def test_loop_nesting_measures_exact_depth(depth):
+    body = ""
+    for level in range(depth):
+        body += (f"int i{level};\n"
+                 f"for (i{level} = 0; i{level} < 2; "
+                 f"i{level} = i{level} + 1) {{\n")
+    body += "ga[0] = ga[1] + 1;\n" + "}\n" * depth
+    assert extract_features(program(body)).loop_nesting == depth
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3])
+def test_diamond_depth_measures_exact_if_nesting(depth):
+    body = ""
+    for level in range(depth):
+        body += f"if (ga[{level}] > 0) {{\n"
+    body += "ga[0] = 1;\n" + "}\n" * depth
+    assert extract_features(program(body)).diamond_depth == depth
+
+
+def test_features_stable_under_reparse():
+    source = program("ga[0] = ga[1] + 1;\n"
+                     "if (ga[2] > 0) { gb[0] = 2; }\n")
+    direct = extract_features(source)
+    assert direct == extract_features(source)
+    assert direct == features_of_unit(parse(source))
+
+
+def test_formatting_does_not_change_features():
+    dense = program("ga[0] = ga[1] + 1;")
+    spaced = program("ga[ 0 ]   =\n  ga[ 1 ] + 1   ;\n\n")
+    assert extract_features(dense) == extract_features(spaced)
+
+
+def test_compiled_ops_positive_and_size_monotone():
+    small = program("ga[0] = 1;")
+    bigger = program("ga[0] = 1;\nga[1] = 2;\nga[2] = 3;\ngb[0] = ga[0];")
+    assert 0 < compiled_ops(small) < compiled_ops(bigger)
+
+
+def test_size_class_edges():
+    assert size_class(SIZE_EDGES[0] - 1) == "xs"
+    assert size_class(SIZE_EDGES[0]) == "sm"
+    assert size_class(SIZE_EDGES[1]) == "md"
+    assert size_class(SIZE_EDGES[2]) == "lg"
+    assert size_class(10 * SIZE_EDGES[2]) == "lg"
+
+
+def test_alias_and_control_and_diamond_classes():
+    assert alias_class(ALIAS_EDGE - 1e-9) == "lo"
+    assert alias_class(ALIAS_EDGE) == "hi"
+    assert [control_class(k) for k in (0, 1, 2, 3, 4)] == \
+        ["loop", "loop", "nest", "deep", "deep"]
+    assert [diamond_class(k) for k in (0, 1, 2, 3)] == \
+        ["d1", "d1", "d2", "d2"]
+
+
+def test_stratum_of_joins_all_four_axes():
+    features = ShapeFeatures(nodes=100, loads=5, stores=5, calls=0,
+                             diamond_depth=2, loop_nesting=1)
+    name = stratum_of(features, ops=150)
+    size, alias, control, diamond = name.split("-")
+    axes = all_axis_values()
+    assert size in axes["size"]
+    assert alias in axes["alias"]
+    assert control in axes["control"]
+    assert diamond in axes["diamond"]
+    assert name == "sm-hi-loop-d2"

@@ -1,0 +1,210 @@
+"""Curator tests: deterministic builds, sound selection, honest verify."""
+
+import json
+import random
+
+import pytest
+
+from repro.corpus.manifest import (CONFIG_TIERS, CORPUS_SCHEMA, BuildSpec,
+                                   Candidate, build_manifest, entry_source,
+                                   load_manifest, manifest_stats, mark_smoke,
+                                   select_bench_entries, select_entries,
+                                   verify_manifest, write_manifest)
+from repro.fuzz.generator import (GeneratorConfig, config_from_dict,
+                                  config_to_dict)
+
+
+def test_build_is_deterministic(tiny_spec, tiny_manifest):
+    again = build_manifest(tiny_spec)
+    assert (json.dumps(again, sort_keys=True)
+            == json.dumps(tiny_manifest, sort_keys=True))
+
+
+@pytest.mark.slow
+def test_parallel_build_matches_serial(tiny_spec, tiny_manifest):
+    parallel = build_manifest(tiny_spec, jobs=2)
+    assert (json.dumps(parallel, sort_keys=True)
+            == json.dumps(tiny_manifest, sort_keys=True))
+
+
+def test_manifest_shape(tiny_spec, tiny_manifest):
+    assert tiny_manifest["schema"] == CORPUS_SCHEMA
+    entries = tiny_manifest["entries"]
+    assert len(entries) == tiny_spec.target_size
+    assert sum(1 for e in entries if e["smoke"]) == tiny_spec.smoke_size
+    assert len({e["id"] for e in entries}) == len(entries)
+    for entry in entries:
+        assert set(entry) == {"id", "config", "seed", "stratum", "smoke",
+                              "fingerprint", "ops", "features"}
+        assert entry["config"] in tiny_manifest["configs"]
+        assert entry["ops"] > 0
+    # the recorded strata summary matches the entries
+    strata = {}
+    for entry in entries:
+        strata[entry["stratum"]] = strata.get(entry["stratum"], 0) + 1
+    assert strata == tiny_manifest["strata"]
+
+
+def test_entries_regenerate_and_verify_clean(tiny_manifest):
+    assert verify_manifest(tiny_manifest) == []
+    assert verify_manifest(tiny_manifest, full=True) == []
+
+
+def test_verify_catches_fingerprint_drift(tiny_manifest):
+    tampered = json.loads(json.dumps(tiny_manifest))
+    tampered["entries"][0]["fingerprint"] = "0" * 64
+    problems = verify_manifest(tampered)
+    assert any("fingerprint mismatch" in p for p in problems)
+
+
+def test_verify_catches_stratum_and_ops_drift(tiny_manifest):
+    tampered = json.loads(json.dumps(tiny_manifest))
+    victim = tampered["entries"][0]
+    victim["ops"] += 1
+    problems = verify_manifest(tampered, full=True)
+    assert any("ops" in p and victim["id"] in p for p in problems)
+
+
+def test_verify_catches_duplicate_ids_and_bad_summary(tiny_manifest):
+    tampered = json.loads(json.dumps(tiny_manifest))
+    tampered["entries"][1] = json.loads(
+        json.dumps(tampered["entries"][0]))
+    problems = verify_manifest(tampered)
+    assert any("duplicate id" in p for p in problems)
+    assert any("strata summary" in p for p in problems)
+
+
+def test_verify_catches_generator_version_drift(tiny_manifest):
+    tampered = json.loads(json.dumps(tiny_manifest))
+    tampered["generator_version"] += 1
+    problems = verify_manifest(tampered)
+    assert any("generator_version" in p for p in problems)
+
+
+def test_roundtrip_write_load(tiny_manifest, tmp_path):
+    path = tmp_path / "manifest.json"
+    write_manifest(path, tiny_manifest)
+    assert load_manifest(path) == tiny_manifest
+
+
+def test_load_rejects_foreign_payloads(tmp_path):
+    path = tmp_path / "bogus.json"
+    path.write_text(json.dumps({"schema": "repro.bench_spd/3",
+                                "entries": []}))
+    with pytest.raises(ValueError, match="schema"):
+        load_manifest(path)
+    path.write_text(json.dumps({"hello": 1}))
+    with pytest.raises(ValueError, match="not a corpus manifest"):
+        load_manifest(path)
+
+
+def test_unknown_config_tier_rejected():
+    with pytest.raises(ValueError, match="unknown config tier"):
+        BuildSpec(configs=("nope",)).config_names()
+
+
+def test_config_roundtrips_through_manifest_params():
+    for name, config in CONFIG_TIERS.items():
+        params = config_to_dict(config)
+        assert config_from_dict(params) == config, name
+    with pytest.raises(ValueError, match="unknown generator parameter"):
+        config_from_dict({"array_size": 16, "warp_drive": True})
+
+
+# -- selection -------------------------------------------------------------
+
+def _fake_candidates(count=40, strata=("a", "b", "c", "d")):
+    rng = random.Random(7)
+    return [Candidate(id=f"c:{i:03d}", config="s-lo", seed=i,
+                      fingerprint=f"{i:064x}", ops=rng.randrange(40, 400),
+                      features={}, stratum=strata[i % len(strata)])
+            for i in range(count)]
+
+
+def test_selection_covers_every_stratum():
+    candidates = _fake_candidates()
+    selected = select_entries(candidates, 10)
+    assert len(selected) == 10
+    assert ({c.stratum for c in selected}
+            == {c.stratum for c in candidates})
+
+
+def test_selection_is_order_independent():
+    candidates = _fake_candidates()
+    baseline = select_entries(candidates, 17)
+    for seed in range(3):
+        shuffled = list(candidates)
+        random.Random(seed).shuffle(shuffled)
+        assert select_entries(shuffled, 17) == baseline
+
+
+def test_selection_prefers_small_programs_within_stratum():
+    candidates = _fake_candidates()
+    selected = select_entries(candidates, 4)  # one per stratum
+    by_stratum = {}
+    for candidate in candidates:
+        bucket = by_stratum.setdefault(candidate.stratum, [])
+        bucket.append(candidate)
+    for choice in selected:
+        smallest = min(by_stratum[choice.stratum],
+                       key=lambda c: (c.ops, c.id))
+        assert choice == smallest
+
+
+def test_selection_handles_exhausted_strata():
+    candidates = _fake_candidates(count=6)
+    assert len(select_entries(candidates, 100)) == 6
+    assert select_entries([], 10) == []
+    assert select_entries(candidates, 0) == []
+
+
+def test_smoke_marking_round_robins_strata():
+    candidates = _fake_candidates()
+    smoke = mark_smoke(candidates, 4)
+    chosen = [c for c in candidates if c.id in set(smoke)]
+    assert len(smoke) == 4
+    assert {c.stratum for c in chosen} == {"a", "b", "c", "d"}
+    assert mark_smoke(candidates, 1000) == sorted(
+        c.id for c in candidates)
+
+
+# -- bench-slice selection -------------------------------------------------
+
+def test_select_bench_entries_slices(tiny_manifest):
+    everything = select_bench_entries(tiny_manifest, None)
+    assert everything == tiny_manifest["entries"]
+    smoke = select_bench_entries(tiny_manifest, "smoke")
+    assert smoke and all(entry["smoke"] for entry in smoke)
+    stratum = tiny_manifest["entries"][0]["stratum"]
+    one = select_bench_entries(tiny_manifest, stratum)
+    assert one and all(entry["stratum"] == stratum for entry in one)
+    with pytest.raises(ValueError, match="matches no corpus entry"):
+        select_bench_entries(tiny_manifest, "xl-wat-loop-d9")
+
+
+def test_manifest_stats_summarises(tiny_spec, tiny_manifest):
+    stats = manifest_stats(tiny_manifest)
+    assert stats["entries"] == tiny_spec.target_size
+    assert stats["smoke_entries"] == tiny_spec.smoke_size
+    assert sum(b["programs"] for b in stats["strata"].values()) \
+        == stats["entries"]
+    for bucket in stats["strata"].values():
+        assert bucket["ops_min"] <= bucket["ops_median"] <= bucket["ops_max"]
+
+
+def test_entry_sources_differ_across_entries(tiny_manifest):
+    sources = {entry_source(tiny_manifest, entry)
+               for entry in tiny_manifest["entries"][:6]}
+    assert len(sources) == 6
+
+
+def test_generator_config_defaults_pin():
+    """CONFIG_TIERS is part of the committed manifest's meaning: a field
+    drifting silently would orphan every committed seed.  (The
+    fingerprints in the manifest catch this too — this is the fast,
+    local pin.)"""
+    small = CONFIG_TIERS["s-lo"]
+    assert isinstance(small, GeneratorConfig)
+    assert not small.enable_matrix and not small.enable_while
+    assert CONFIG_TIERS["x-hi"].max_toplevel_stmts == 24
+    assert {name.split("-")[1] for name in CONFIG_TIERS} == {"lo", "hi"}

@@ -1,0 +1,116 @@
+"""Streaming executor tests: :func:`repro.pipeline.executor.stream_jobs`.
+
+The corpus-scale contract — results arrive lazily in job order, match
+the batch path exactly, merge worker metrics but never span subtrees,
+and never populate the parent's in-memory tier."""
+
+import types
+
+import pytest
+
+from repro import obs
+from repro.disambig.pipeline import Disambiguator
+from repro.machine.description import machine
+from repro.pipeline.core import Pipeline
+from repro.pipeline.executor import TimingJob, ViewJob, run_jobs, stream_jobs
+from repro.pipeline.store import ArtifactStore
+
+SOURCE = """
+int a[16];
+
+int main() {
+    int i;
+    for (i = 0; i < 8; i = i + 1) {
+        a[i] = i * 3;
+        a[i + 4] = a[i] + 1;
+    }
+    print(a[5]);
+    return 0;
+}
+"""
+
+MACH = machine(5, 2)
+
+
+def _jobs():
+    return [ViewJob("st", SOURCE, Disambiguator.SPEC),
+            TimingJob("st", SOURCE, Disambiguator.NAIVE, MACH),
+            TimingJob("st", SOURCE, Disambiguator.SPEC, MACH),
+            TimingJob("st", SOURCE, Disambiguator.PERFECT, MACH)]
+
+
+def test_stream_is_lazy_and_ordered(tmp_path):
+    pipe = Pipeline(store=ArtifactStore(tmp_path))
+    stream = pipe.stream(_jobs(), num_jobs=1)
+    assert isinstance(stream, types.GeneratorType)
+    first = next(stream)
+    assert first.kind == Disambiguator.SPEC
+    rest = list(stream)
+    assert [a.kind for a in rest] == [Disambiguator.NAIVE,
+                                      Disambiguator.SPEC,
+                                      Disambiguator.PERFECT]
+
+
+def test_stream_matches_batch_results(tmp_path):
+    batch = run_jobs(Pipeline(store=ArtifactStore(tmp_path / "batch")),
+                     _jobs(), num_jobs=1)
+    streamed = list(stream_jobs(
+        Pipeline(store=ArtifactStore(tmp_path / "stream")), _jobs(),
+        num_jobs=1))
+    assert ([a.fingerprint for a in streamed]
+            == [a.fingerprint for a in batch])
+
+
+@pytest.mark.slow
+def test_parallel_stream_matches_serial(tmp_path):
+    serial = list(stream_jobs(
+        Pipeline(store=ArtifactStore(tmp_path / "serial")), _jobs(),
+        num_jobs=1))
+    parallel = list(stream_jobs(
+        Pipeline(store=ArtifactStore(tmp_path / "parallel")), _jobs(),
+        num_jobs=4))
+    assert ([a.fingerprint for a in parallel]
+            == [a.fingerprint for a in serial])
+    assert ([a.cycles for a in parallel[1:]]
+            == [a.cycles for a in serial[1:]])
+
+
+@pytest.mark.slow
+def test_parallel_stream_keeps_parent_memory_tier_empty(tmp_path):
+    pipe = Pipeline(store=ArtifactStore(tmp_path))
+    results = list(stream_jobs(pipe, _jobs(), num_jobs=2))
+    assert len(results) == 4
+    # O(1) parent memory: artifacts are yielded, not accumulated (the
+    # batch path run_jobs inserts them all — see its contract)
+    assert len(pipe.store._memory) == 0
+    # ... but the shared disk tier was fully populated by the workers
+    warm = Pipeline(store=ArtifactStore(tmp_path))
+    with obs.tracing() as tracer:
+        warm.timing("st", SOURCE, Disambiguator.NAIVE, MACH)
+    counters = tracer.metrics.counters
+    assert counters.get("pipeline.cache_hits.disk", 0) > 0
+    assert counters.get("pipeline.cache_misses", 0) == 0
+
+
+@pytest.mark.slow
+def test_parallel_stream_merges_metrics_but_not_spans(tmp_path):
+    with obs.tracing() as tracer:
+        list(stream_jobs(Pipeline(store=ArtifactStore(tmp_path)), _jobs(),
+                         num_jobs=2))
+        root = tracer.root
+    counters = tracer.metrics.counters
+    assert counters.get("pipeline.cache_misses", 0) > 0
+    assert counters.get("pipeline.parallel_tasks") == 4
+    # worker stage histograms merged into the parent registry
+    assert any(name.startswith("span.pipeline.")
+               for name in tracer.metrics.histograms)
+    # ... but no worker_job span subtrees were shipped or grafted
+
+    def span_names(span):
+        yield span.name
+        for child in span.children:
+            yield from span_names(child)
+
+    names = list(span_names(root))
+    assert "pipeline.stream" in names
+    assert "pipeline.worker_job" not in names

@@ -1,0 +1,104 @@
+"""Property tests for corpus shape features and stratified selection.
+
+The manifest's meaning rests on two functions being truly deterministic
+and structural: :func:`extract_features` (stable under re-parse,
+monotone in program size) and :func:`select_entries` (independent of
+candidate ordering, covering every stratum).  Hypothesis drives both
+over the same seeded generator the curator uses.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.features import (extract_features, features_of_unit,
+                                   stratum_of)
+from repro.corpus.manifest import CONFIG_TIERS, Candidate, select_entries
+from repro.frontend.parser import parse
+from repro.fuzz.generator import generate_program
+
+_SETTINGS = settings(max_examples=30, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+_CONFIG_NAMES = sorted(CONFIG_TIERS)
+
+
+@st.composite
+def generated_sources(draw):
+    name = draw(st.sampled_from(_CONFIG_NAMES))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return generate_program(seed, CONFIG_TIERS[name])
+
+
+@_SETTINGS
+@given(source=generated_sources())
+def test_features_stable_under_reparse(source):
+    """Same source, any number of parses: identical features."""
+    first = extract_features(source)
+    assert first == extract_features(source)
+    assert first == features_of_unit(parse(source))
+
+
+@_SETTINGS
+@given(source=generated_sources())
+def test_features_are_internally_consistent(source):
+    features = extract_features(source)
+    assert features.nodes > 0
+    assert features.mem_refs == features.loads + features.stores
+    assert 0.0 <= features.alias_density <= 1.0
+    assert features.loop_nesting >= 1  # the observability dump tail
+    # the stratum is well-formed whatever the program looks like
+    assert len(stratum_of(features, ops=200).split("-")) == 4
+
+
+@_SETTINGS
+@given(source=generated_sources(),
+       extra=st.integers(min_value=1, max_value=5))
+def test_features_monotone_in_program_size(source, extra):
+    """Inserting statements never shrinks any counter (monotonicity:
+    bigger program => feature counters >=)."""
+    grown = source.replace("int main() {",
+                           "int main() {\n" + "ga[0] = ga[1] + 1;\n" * extra,
+                           1)
+    small = extract_features(source)
+    big = extract_features(grown)
+    assert big.nodes > small.nodes
+    assert big.loads >= small.loads + extra
+    assert big.stores >= small.stores + extra
+    assert big.calls >= small.calls
+    assert big.diamond_depth >= small.diamond_depth
+    assert big.loop_nesting >= small.loop_nesting
+
+
+@st.composite
+def candidate_pools(draw):
+    strata = draw(st.lists(
+        st.sampled_from(["xs-lo-loop-d1", "sm-hi-nest-d1", "md-hi-nest-d2",
+                         "lg-lo-deep-d2", "sm-lo-loop-d1"]),
+        min_size=1, max_size=60))
+    return [Candidate(id=f"c:{index:03d}", config="s-lo", seed=index,
+                      fingerprint=f"{index:064x}",
+                      ops=draw(st.integers(min_value=40, max_value=1500)),
+                      features={}, stratum=stratum)
+            for index, stratum in enumerate(strata)]
+
+
+@_SETTINGS
+@given(candidates=candidate_pools(),
+       target=st.integers(min_value=1, max_value=80),
+       shuffle_seed=st.integers(min_value=0, max_value=1000))
+def test_selection_order_independent_and_covering(candidates, target,
+                                                  shuffle_seed):
+    baseline = select_entries(candidates, target)
+    shuffled = list(candidates)
+    random.Random(shuffle_seed).shuffle(shuffled)
+    assert select_entries(shuffled, target) == baseline
+    # every stratum present in the pool is always represented —
+    # coverage beats the head count
+    pool_strata = {c.stratum for c in candidates}
+    assert {c.stratum for c in baseline} == pool_strata
+    assert len(baseline) == min(len(candidates),
+                                max(target, len(pool_strata)))
+    # no duplicates ever
+    assert len({c.id for c in baseline}) == len(baseline)

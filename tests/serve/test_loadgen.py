@@ -21,6 +21,26 @@ class TestBuildShapes:
         shapes = build_shapes(0, 10, endpoints=("compile",))
         assert {endpoint for endpoint, _ in shapes} == {"compile"}
 
+    def test_explicit_program_pool(self):
+        """``--corpus`` swaps the built-in benchmark pool for arbitrary
+        (name, source) pairs — payload sources come from the pool."""
+        programs = [("c:0001", "int main() { print(1); return 0; }"),
+                    ("c:0002", "int main() { print(2); return 0; }")]
+        shapes = build_shapes(5, 10, programs=programs)
+        sources = {source for _, source in programs}
+        for _, payload in shapes:
+            assert payload["source"] in sources
+            name = payload["label"].split("/")[1]
+            assert name in {"c:0001", "c:0002"}
+        # still deterministic, and distinct from the built-in pool
+        assert shapes == build_shapes(5, 10, programs=programs)
+        assert shapes != build_shapes(5, 10)
+
+    def test_empty_program_pool_rejected(self):
+        import pytest
+        with pytest.raises(ValueError, match="empty program pool"):
+            build_shapes(0, 4, programs=[])
+
 
 class TestLoadgenSmoke:
     def test_deterministic_seeded_smoke(self, server):
